@@ -1,0 +1,43 @@
+//! First-touch NUMA: allocate close to the first toucher, never migrate.
+
+use tiersim::addr::VirtAddr;
+use tiersim::machine::Machine;
+use tiersim::sim::MemoryManager;
+use tiersim::tier::ComponentId;
+
+/// The first-touch NUMA baseline (Sec. 9's "First-touch NUMA").
+///
+/// Pages are allocated in the fastest component with space from the view
+/// of the faulting thread's node; no profiling, no migration.
+#[derive(Default)]
+pub struct FirstTouch;
+
+impl MemoryManager for FirstTouch {
+    fn name(&self) -> String {
+        "First-touch NUMA".into()
+    }
+
+    fn placement(&mut self, m: &Machine, tid: usize, _va: VirtAddr) -> Vec<ComponentId> {
+        m.topology().view(m.node_of(tid)).to_vec()
+    }
+
+    fn on_interval(&mut self, _m: &mut Machine, _interval: u64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiersim::addr::{VaRange, PAGE_SIZE_2M};
+    use tiersim::machine::MachineConfig;
+    use tiersim::tier::optane_four_tier;
+
+    #[test]
+    fn places_local_fast_first() {
+        let mut m = Machine::new(MachineConfig::new(optane_four_tier(1 << 12), 2));
+        m.mmap("a", VaRange::from_len(VirtAddr(0), PAGE_SIZE_2M), false);
+        let mut ft = FirstTouch;
+        // Thread 0 is on node 0; thread 1 on node 1.
+        assert_eq!(ft.placement(&m, 0, VirtAddr(0)), vec![0, 1, 2, 3]);
+        assert_eq!(ft.placement(&m, 1, VirtAddr(0)), vec![1, 0, 3, 2]);
+    }
+}

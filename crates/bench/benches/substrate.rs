@@ -1,0 +1,61 @@
+//! Simulator hot-path microbenchmarks: per-access cost, PTE scanning and
+//! region relocation throughput of the `tiersim` substrate itself.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tiersim::addr::{VaRange, VirtAddr, PAGE_SIZE_2M, PAGE_SIZE_4K};
+use tiersim::machine::{AccessKind, Machine, MachineConfig};
+use tiersim::tier::optane_four_tier;
+
+fn machine() -> Machine {
+    let mut m = Machine::new(MachineConfig::new(optane_four_tier(1 << 12), 4));
+    let r = VaRange::from_len(VirtAddr(0), 64 * PAGE_SIZE_2M);
+    m.mmap("bench", r, true);
+    m.prefault_range(r, &[0, 1, 2, 3]).unwrap();
+    m
+}
+
+fn access_path(c: &mut Criterion) {
+    let mut m = machine();
+    let mut g = c.benchmark_group("substrate");
+    g.throughput(Throughput::Elements(1));
+    let mut i = 0u64;
+    g.bench_function("access_read", |b| {
+        b.iter(|| {
+            i = i.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let va = VirtAddr((i >> 33) % (64 * PAGE_SIZE_2M) & !63);
+            std::hint::black_box(m.access(0, va, AccessKind::Read))
+        })
+    });
+    g.finish();
+}
+
+fn pte_scan(c: &mut Criterion) {
+    let mut m = machine();
+    let mut i = 0u64;
+    c.bench_function("substrate_pte_scan", |b| {
+        b.iter(|| {
+            i += PAGE_SIZE_4K;
+            std::hint::black_box(m.scan_page(VirtAddr(i % (64 * PAGE_SIZE_2M))))
+        })
+    });
+}
+
+fn relocation(c: &mut Criterion) {
+    c.bench_function("substrate_relocate_2mb", |b| {
+        b.iter_batched(
+            machine,
+            |mut m| {
+                let r = VaRange::from_len(VirtAddr(0), PAGE_SIZE_2M);
+                std::hint::black_box(tiersim::migrate::relocate_range(&mut m, r, 3, 0, 4, false))
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = access_path, pte_scan, relocation
+}
+criterion_main!(benches);

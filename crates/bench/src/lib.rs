@@ -1,0 +1,23 @@
+//! `mtm-bench` — Criterion benchmarks regenerating the paper's tables and
+//! figures at a reduced (CI-sized) scale.
+//!
+//! Each bench target maps to evaluation artifacts (see `DESIGN.md`):
+//!
+//! | bench | paper artifacts |
+//! |-------|-----------------|
+//! | `profiling` | Fig. 1, Fig. 6, Fig. 8, Table 7 |
+//! | `migration` | Fig. 3, Fig. 11 |
+//! | `overall` | Fig. 4, Fig. 5, Tables 3-6, Fig. 12 |
+//! | `ablation` | Fig. 7, Fig. 9, Fig. 10 |
+//! | `substrate` | simulator hot paths (access, scan, migrate) |
+
+use mtm_harness::Opts;
+
+/// Bench-sized options: small, fast, deterministic.
+pub fn bench_opts() -> Opts {
+    let mut o = Opts::quick();
+    o.scale = 1 << 13;
+    o.intervals = 8;
+    o.threads = 4;
+    o
+}

@@ -1,0 +1,23 @@
+//! Runs every experiment in paper order, printing and saving each report
+//! under `results/`, and writes a combined `results/ALL.txt`.
+
+fn main() {
+    let opts = mtm_harness::Opts::from_env();
+    eprintln!("running with {opts:?}");
+    let mut combined = String::new();
+    for e in mtm_harness::experiments() {
+        eprintln!("==> {} ({})", e.id, e.title);
+        let t0 = std::time::Instant::now();
+        let out = (e.run)(&opts);
+        eprintln!("    done in {:.1}s", t0.elapsed().as_secs_f64());
+        println!("{out}");
+        if let Err(err) = mtm_harness::save_result(e.id, &out) {
+            eprintln!("warning: could not save {}: {err}", e.id);
+        }
+        combined.push_str(&out);
+        combined.push_str("\n\n");
+    }
+    if let Err(err) = mtm_harness::save_result("ALL", &combined) {
+        eprintln!("warning: could not save ALL: {err}");
+    }
+}

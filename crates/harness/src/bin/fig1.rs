@@ -1,0 +1,5 @@
+//! Regenerates the paper's `fig1` (see DESIGN.md experiment index).
+
+fn main() {
+    mtm_harness::run_and_save("fig1");
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's `fig10` (see DESIGN.md experiment index).
+
+fn main() {
+    mtm_harness::run_and_save("fig10");
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's `fig6` (see DESIGN.md experiment index).
+
+fn main() {
+    mtm_harness::run_and_save("fig6");
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's `table2` (see DESIGN.md experiment index).
+
+fn main() {
+    mtm_harness::run_and_save("table2");
+}

@@ -1,0 +1,174 @@
+//! Fig. 1: profiling recall and accuracy over time for four profilers
+//! (DAMON, MTM, Thermostat, AutoTiering) under the same overhead budget,
+//! on GUPS with a known hot set.
+
+use mtm::{MtmConfig, MtmManager};
+use mtm_baselines::{AutoTiering, Damon, DamonConfig, Thermostat};
+use mtm_workloads::{Gups, GupsConfig};
+use tiersim::addr::VaRange;
+use tiersim::machine::{Machine, MachineConfig};
+use tiersim::sim::{drive_interval, MemoryManager, SimEnv};
+use tiersim::tier::optane_four_tier;
+
+use crate::metrics::{quality, Quality};
+use crate::opts::Opts;
+use crate::tablefmt::{f, TextTable};
+
+/// One profiler's quality trajectory.
+pub struct QualitySeries {
+    /// Profiler name.
+    pub name: String,
+    /// `(virtual seconds, quality)` after each interval.
+    pub points: Vec<(f64, Quality)>,
+}
+
+impl QualitySeries {
+    /// The final quality point.
+    pub fn last(&self) -> Quality {
+        self.points.last().map(|&(_, q)| q).unwrap_or_default()
+    }
+
+    /// Virtual time at which recall first reached `target` (None if never).
+    pub fn time_to_recall(&self, target: f64) -> Option<f64> {
+        self.points.iter().find(|(_, q)| q.recall >= target).map(|&(t, _)| t)
+    }
+}
+
+fn gups(opts: &Opts) -> Gups {
+    let mut cfg = GupsConfig::paper(opts.scale, opts.threads);
+    cfg.rotate_every = Some((opts.intervals / 3).max(4));
+    Gups::new(cfg)
+}
+
+fn machine(opts: &Opts) -> Machine {
+    let mut cfg = MachineConfig::new(optane_four_tier(opts.scale), opts.threads);
+    cfg.interval_ns = opts.interval_ns;
+    Machine::new(cfg)
+}
+
+/// Runs one profiler (as a manager with migration effectively disabled)
+/// and probes its detected-hot set after each interval.
+fn series<M: MemoryManager>(
+    opts: &Opts,
+    name: &str,
+    mut mgr: M,
+    probe: impl Fn(&M) -> Vec<VaRange>,
+) -> QualitySeries {
+    let mut m = machine(opts);
+    let mut wl = gups(opts);
+    {
+        let mut env = SimEnv { machine: &mut m, manager: &mut mgr };
+        tiersim::sim::Workload::setup(&mut wl, &mut env);
+    }
+    mgr.init(&mut m);
+    m.reset_measurement();
+    let mut points = Vec::new();
+    for ivl in 0..opts.intervals {
+        drive_interval(&mut m, &mut mgr, &mut wl, ivl);
+        mgr.on_interval(&mut m, ivl);
+        let truth = tiersim::sim::Workload::true_hot_ranges(&wl);
+        let q = quality(&probe(&mgr), &truth);
+        points.push((m.elapsed_ns() / 1e9, q));
+        tiersim::sim::Workload::end_of_interval(&mut wl, ivl);
+    }
+    QualitySeries { name: name.into(), points }
+}
+
+/// Runs all four profilers and returns their series.
+pub fn all_series(opts: &Opts) -> Vec<QualitySeries> {
+    let mut out = Vec::new();
+    // MTM: the adaptive profiler, no migration (budget 0).
+    let mut cfg = MtmConfig::default();
+    cfg.promote_bytes = 0;
+    let scans = cfg.num_scans as f64;
+    out.push(series(opts, "MTM", MtmManager::new(cfg, 2), move |mgr| {
+        mgr.profiler().hot_ranges_above(scans * 0.5)
+    }));
+    // DAMON: region profiler, threshold at 30 % of checks.
+    let dcfg = DamonConfig::default();
+    let thr = (dcfg.checks_per_interval as f64 * 0.3) as u32;
+    out.push(series(opts, "DAMON", Damon::new(dcfg), move |d| d.hot_ranges_above(thr.max(1))));
+    // Thermostat: protection-fault profiler.
+    out.push(series(opts, "Thermostat", Thermostat::new(0), |t| t.hot_ranges()));
+    // AutoTiering: random scan windows.
+    out.push(series(opts, "AutoTiering", AutoTiering::new(0), |a| a.hot_ranges()));
+    out
+}
+
+/// Renders Fig. 1.
+pub fn run(opts: &Opts) -> String {
+    let all = all_series(opts);
+    let mut table = TextTable::new(&["t (virtual s)", "profiler", "recall", "accuracy"]);
+    for s in &all {
+        let n = s.points.len();
+        // Report a handful of points along the trajectory.
+        let picks: Vec<usize> =
+            [n / 8, n / 4, n / 2, (3 * n) / 4, n.saturating_sub(1)].into_iter().collect();
+        let mut last = usize::MAX;
+        for i in picks {
+            if i == last || i >= n {
+                continue;
+            }
+            last = i;
+            let (t, q) = s.points[i];
+            table.row(vec![f(t), s.name.clone(), f(q.recall), f(q.accuracy)]);
+        }
+    }
+    let mut summary = TextTable::new(&["profiler", "final recall", "final accuracy", "t to 50% recall"]);
+    for s in &all {
+        let q = s.last();
+        summary.row(vec![
+            s.name.clone(),
+            f(q.recall),
+            f(q.accuracy),
+            s.time_to_recall(0.5).map(|t| format!("{t:.3}s")).unwrap_or_else(|| "never".into()),
+        ]);
+    }
+    format!(
+        "Fig. 1 — Profiling effectiveness on GUPS ({} hot set, rotating)\n\n{}\nSummary\n\n{}",
+        "20%",
+        table.render(),
+        summary.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Opts {
+        let mut o = Opts::quick();
+        o.scale = 1 << 13;
+        o.intervals = 8;
+        o.threads = 2;
+        o
+    }
+
+    #[test]
+    fn mtm_profiler_beats_damon_accuracy() {
+        let all = all_series(&tiny());
+        let mtm = all.iter().find(|s| s.name == "MTM").unwrap().last();
+        let damon = all.iter().find(|s| s.name == "DAMON").unwrap().last();
+        // The paper's headline: MTM detects hot pages precisely; about
+        // half of DAMON's "hot" detections are not hot. At tiny scale we
+        // only check the ordering.
+        assert!(
+            mtm.accuracy >= damon.accuracy * 0.9,
+            "MTM accuracy {} vs DAMON {}",
+            mtm.accuracy,
+            damon.accuracy
+        );
+        assert!(mtm.recall > 0.2, "MTM recall {}", mtm.recall);
+    }
+
+    #[test]
+    fn series_are_timestamped_and_monotone() {
+        let all = all_series(&tiny());
+        for s in &all {
+            assert_eq!(s.points.len(), 8);
+            for w in s.points.windows(2) {
+                assert!(w[1].0 >= w[0].0, "time increases");
+            }
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Fig. 10: sensitivity to the EMA weight alpha (Eq. 2), all six
+//! workloads, normalized to the default alpha = 1/2.
+
+use mtm::MtmManager;
+use tiersim::machine::{Machine, MachineConfig};
+use tiersim::sim::run_scenario;
+use tiersim::tier::optane_four_tier;
+
+use crate::opts::Opts;
+use crate::runs::{mtm_config, WORKLOADS};
+use crate::tablefmt::{f, TextTable};
+
+/// The alpha sweep of the paper.
+pub const ALPHAS: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
+
+fn run_one(opts: &Opts, workload: &str, alpha: f64) -> f64 {
+    let topo = optane_four_tier(opts.scale);
+    let mut mc = MachineConfig::new(topo.clone(), opts.threads);
+    mc.interval_ns = opts.interval_ns;
+    let mut machine = Machine::new(mc);
+    let mut cfg = mtm_config(opts);
+    cfg.alpha = alpha;
+    let mut mgr = MtmManager::new(cfg, topo.nodes as usize);
+    let mut wl = mtm_workloads::build_paper_workload(workload, opts.scale, opts.threads)
+        .expect("known workload");
+    run_scenario(&mut machine, &mut mgr, wl.as_mut(), opts.intervals).ns_per_op_steady()
+}
+
+/// Renders Fig. 10 (speedup over alpha = 1/2; higher is better).
+pub fn run(opts: &Opts) -> String {
+    let mut headers = vec!["workload".to_string()];
+    headers.extend(ALPHAS.iter().map(|a| format!("alpha={a}")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = TextTable::new(&header_refs);
+    for wl in WORKLOADS {
+        let base = run_one(opts, wl, 0.5);
+        let mut row = vec![wl.to_string()];
+        for &a in &ALPHAS {
+            let t = if (a - 0.5).abs() < 1e-9 { base } else { run_one(opts, wl, a) };
+            row.push(f(base / t));
+        }
+        table.row(row);
+    }
+    format!(
+        "Fig. 10 — Performance when changing alpha (speedup vs alpha=1/2; >1 means faster than default)\n\n{}\n(paper: using both current and historical profiling results helps most workloads)\n",
+        table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_sweep_single_workload() {
+        let mut o = Opts::quick();
+        o.scale = 1 << 13;
+        o.intervals = 3;
+        o.threads = 2;
+        let t_default = run_one(&o, "GUPS", 0.5);
+        let t_zero = run_one(&o, "GUPS", 0.0);
+        assert!(t_default > 0.0 && t_zero > 0.0);
+    }
+}

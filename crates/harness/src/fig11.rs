@@ -1,0 +1,138 @@
+//! Fig. 11: migration-mechanism microbenchmark. A 1 GB array (scaled) is
+//! allocated and touched in tier 1, then migrated to tiers 2, 3 and 4
+//! under three access patterns — read-only (R), half reads half writes
+//! (R/W) and write-only (W) — with Linux `move_pages()`, Nimble, and
+//! MTM's `move_memory_regions()`.
+
+use mtm::migration::{move_memory_regions_once, nimble_move};
+use tiersim::addr::{VaRange, VirtAddr, PAGE_SIZE_2M};
+use tiersim::machine::{Machine, MachineConfig};
+use tiersim::migrate::move_pages_linux;
+use tiersim::tier::optane_four_tier;
+
+use crate::opts::Opts;
+use crate::tablefmt::{dur, TextTable};
+
+/// Access patterns of the paper.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Pattern {
+    /// Sequential read-only.
+    R,
+    /// Read followed by an update on half the regions.
+    RW,
+    /// Sequential writes.
+    W,
+}
+
+impl Pattern {
+    fn label(self) -> &'static str {
+        match self {
+            Pattern::R => "R",
+            Pattern::RW => "R/W",
+            Pattern::W => "W",
+        }
+    }
+
+    /// Fraction of regions written while the async copy is in flight.
+    fn dirty_fraction(self) -> f64 {
+        match self {
+            Pattern::R => 0.0,
+            Pattern::RW => 0.5,
+            Pattern::W => 1.0,
+        }
+    }
+}
+
+fn array_bytes(opts: &Opts) -> u64 {
+    ((1u64 << 30) * 16 / opts.scale).max(4 * PAGE_SIZE_2M)
+}
+
+fn fresh(opts: &Opts) -> (Machine, VaRange) {
+    let mut cfg = MachineConfig::new(optane_four_tier(opts.scale), 1);
+    cfg.interval_ns = opts.interval_ns;
+    let mut m = Machine::new(cfg);
+    let range = VaRange::from_len(VirtAddr(0), array_bytes(opts));
+    m.mmap("array", range, false);
+    m.prefault_range(range, &[0]).unwrap();
+    (m, range)
+}
+
+/// One measurement: critical-path time of migrating the array.
+pub fn measure_one(opts: &Opts, mechanism: &str, dst: u16, pattern: Pattern) -> f64 {
+    let (mut m, range) = fresh(opts);
+    let regions: Vec<VaRange> = range.iter_pages_2m().map(|b| VaRange::from_len(b, PAGE_SIZE_2M)).collect();
+    let mut total = 0.0;
+    for (i, region) in regions.iter().enumerate() {
+        let dirty = (i as f64 + 0.5) / regions.len() as f64 <= pattern.dirty_fraction();
+        let before = m.breakdown().migration_ns;
+        match mechanism {
+            "move_pages" => {
+                move_pages_linux(&mut m, *region, dst, 0).expect("move_pages");
+            }
+            "nimble" => {
+                nimble_move(&mut m, *region, dst, 0, 4).expect("nimble");
+            }
+            "mtm" => {
+                move_memory_regions_once(&mut m, *region, dst, 0, 4, dirty).expect("mmr");
+            }
+            other => panic!("unknown mechanism {other:?}"),
+        }
+        total += m.breakdown().migration_ns - before;
+    }
+    total
+}
+
+/// Renders Fig. 11.
+pub fn run(opts: &Opts) -> String {
+    let mut out = format!(
+        "Fig. 11 — Migration microbenchmark: {} array, tier 1 -> tier N, critical-path time\n\n",
+        tiersim::addr::fmt_bytes(array_bytes(opts))
+    );
+    for (dst, label) in [(1u16, "tier 1 -> tier 2"), (2, "tier 1 -> tier 3"), (3, "tier 1 -> tier 4")] {
+        let mut table = TextTable::new(&["pattern", "move_pages()", "Nimble", "MTM", "MTM vs move_pages"]);
+        for pattern in [Pattern::R, Pattern::RW, Pattern::W] {
+            let mp = measure_one(opts, "move_pages", dst, pattern);
+            let nb = measure_one(opts, "nimble", dst, pattern);
+            let mt = measure_one(opts, "mtm", dst, pattern);
+            table.row(vec![
+                pattern.label().to_string(),
+                dur(mp),
+                dur(nb),
+                dur(mt),
+                format!("{:+.0}%", 100.0 * (mp - mt) / mp),
+            ]);
+        }
+        out.push_str(&format!("{label}\n{}\n", table.render()));
+    }
+    out.push_str("(paper: MTM ~40% better than move_pages for R, ~23% for R/W, and roughly even for W)\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mtm_wins_reads_and_ties_writes() {
+        let mut o = Opts::quick();
+        o.scale = 1 << 12;
+        let mp_r = measure_one(&o, "move_pages", 3, Pattern::R);
+        let mt_r = measure_one(&o, "mtm", 3, Pattern::R);
+        let mt_w = measure_one(&o, "mtm", 3, Pattern::W);
+        assert!(mt_r < mp_r * 0.7, "async copy wins for reads: {mt_r} vs {mp_r}");
+        assert!(mt_w > mt_r * 1.5, "write pattern pays the exposed copy");
+        // W lands in the same ballpark as move_pages (the paper reports a
+        // near-tie; our move_pages also pays per-4KB sequential overheads,
+        // so MTM keeps a modest edge).
+        assert!(mt_w < mp_r && mt_w * 3.0 > mp_r, "mt_w={mt_w} mp_r={mp_r}");
+    }
+
+    #[test]
+    fn nimble_beats_move_pages_via_parallel_copy() {
+        let mut o = Opts::quick();
+        o.scale = 1 << 12;
+        let mp = measure_one(&o, "move_pages", 2, Pattern::R);
+        let nb = measure_one(&o, "nimble", 2, Pattern::R);
+        assert!(nb < mp, "nimble {nb} < move_pages {mp}");
+    }
+}

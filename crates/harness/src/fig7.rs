@@ -1,0 +1,59 @@
+//! Fig. 7: effectiveness of MTM's pieces on VoltDB — adaptive memory
+//! regions (AMR), adaptive page sampling (APS), overhead control (OC),
+//! PEBS assistance, async migration — next to Thermostat and patched
+//! tiered-AutoNUMA.
+
+use crate::opts::Opts;
+use crate::runs::cached_run;
+use crate::tablefmt::{dur, TextTable};
+
+const SYSTEMS: [&str; 8] = [
+    "thermostat",
+    "autonuma",
+    "MTM",
+    "MTM:w/o-AMR",
+    "MTM:w/o-PEBS",
+    "MTM:w/o-APS",
+    "MTM:w/o-OC",
+    "MTM:w/o-async",
+];
+
+/// Renders Fig. 7.
+pub fn run(opts: &Opts) -> String {
+    let mut table =
+        TextTable::new(&["system", "app", "profiling", "migration", "total", "vs MTM"]);
+    let mtm_nspo = cached_run("MTM", "VoltDB", opts).ns_per_op_steady();
+    for sys in SYSTEMS {
+        let r = cached_run(sys, "VoltDB", opts);
+        let (b, ops) = r.steady();
+        let k = 1e6 / ops.max(1) as f64;
+        table.row(vec![
+            r.manager.clone(),
+            dur(b.app_ns * k),
+            dur(b.profiling_ns * k),
+            dur(b.migration_ns * k),
+            dur(b.total_ns() * k),
+            format!("{:+.1}%", 100.0 * (r.ns_per_op_steady() - mtm_nspo) / mtm_nspo),
+        ]);
+    }
+    format!(
+        "Fig. 7 — Effectiveness of adaptive memory regions, adaptive page sampling, overhead control, PEBS assist and async migration (VoltDB; time per 1M transactions)\n\n{}",
+        table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablations_render_and_full_mtm_listed() {
+        let mut o = Opts::quick();
+        o.scale = 1 << 13;
+        o.intervals = 4;
+        o.threads = 2;
+        let s = run(&o);
+        assert!(s.contains("MTM-w/o-PEBS") || s.contains("w/o-PEBS"));
+        assert!(s.contains("Thermostat"));
+    }
+}

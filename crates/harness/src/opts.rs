@@ -1,0 +1,104 @@
+//! Experiment options: simulation scale and run length.
+//!
+//! The defaults reproduce the paper's setup scaled down by `scale` (see
+//! `DESIGN.md` for the mapping). Environment variables override them:
+//! `MTM_QUICK=1` (small, fast runs), `MTM_SCALE`, `MTM_THREADS`,
+//! `MTM_INTERVALS`, `MTM_INTERVAL_NS`.
+
+/// Options shared by every experiment.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Opts {
+    /// Capacity/footprint divisor relative to the paper's hardware.
+    pub scale: u64,
+    /// Application threads (paper default: 8).
+    pub threads: usize,
+    /// Profiling intervals per run.
+    pub intervals: u64,
+    /// Virtual length of one profiling interval in nanoseconds
+    /// (simulation-time equivalent of the paper's 10 s interval).
+    pub interval_ns: f64,
+    /// Quick mode (CI-sized runs).
+    pub quick: bool,
+}
+
+impl Default for Opts {
+    fn default() -> Opts {
+        Opts { scale: 256, threads: 8, intervals: 120, interval_ns: 2.0e6, quick: false }
+    }
+}
+
+impl Opts {
+    /// Quick-mode options for CI and tests.
+    pub fn quick() -> Opts {
+        Opts { scale: 4096, threads: 4, intervals: 12, interval_ns: 1.0e6, quick: true }
+    }
+
+    /// Reads options from the environment.
+    pub fn from_env() -> Opts {
+        let mut o = if std::env::var("MTM_QUICK").map(|v| v == "1").unwrap_or(false) {
+            Opts::quick()
+        } else {
+            Opts::default()
+        };
+        if let Ok(v) = std::env::var("MTM_SCALE") {
+            if let Ok(v) = v.parse() {
+                o.scale = v;
+            }
+        }
+        if let Ok(v) = std::env::var("MTM_THREADS") {
+            if let Ok(v) = v.parse() {
+                o.threads = v;
+            }
+        }
+        if let Ok(v) = std::env::var("MTM_INTERVALS") {
+            if let Ok(v) = v.parse() {
+                o.intervals = v;
+            }
+        }
+        if let Ok(v) = std::env::var("MTM_INTERVAL_NS") {
+            if let Ok(v) = v.parse() {
+                o.interval_ns = v;
+            }
+        }
+        o
+    }
+
+    /// The per-interval migration budget every system shares (the paper's
+    /// 200 MB per interval, scaled; see `MtmConfig::with_paper_promote_budget`).
+    pub fn promote_budget(&self) -> u64 {
+        ((200u64 << 20) * 16 / self.scale).max(4 << 21)
+    }
+
+    /// A hashable cache key.
+    pub fn key(&self) -> (u64, usize, u64, u64) {
+        (self.scale, self.threads, self.intervals, self.interval_ns.to_bits())
+    }
+
+    /// Formats a simulated byte count at paper scale (multiplying back).
+    pub fn paper_bytes(&self, sim_bytes: u64) -> String {
+        tiersim::addr::fmt_bytes(sim_bytes.saturating_mul(self.scale))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_and_quick_differ() {
+        let d = Opts::default();
+        let q = Opts::quick();
+        assert!(q.scale > d.scale);
+        assert!(q.intervals < d.intervals);
+        assert_ne!(d.key(), q.key());
+    }
+
+    #[test]
+    fn promote_budget_has_floor() {
+        let mut o = Opts::default();
+        o.scale = 1 << 40;
+        assert_eq!(o.promote_budget(), 4 << 21);
+        o.scale = 8;
+        assert_eq!(o.promote_budget(), 400 << 20);
+    }
+}

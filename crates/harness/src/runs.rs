@@ -1,0 +1,143 @@
+//! Scenario construction and cached execution of the evaluation matrix.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use mtm::{MtmConfig, MtmManager};
+use mtm_baselines::{build_baseline, hemem_pebs_config};
+use tiersim::machine::{Machine, MachineConfig};
+use tiersim::sim::{run_scenario, MemoryManager, RunReport, Workload};
+use tiersim::tier::{optane_four_tier, Topology};
+
+use crate::opts::Opts;
+
+/// Managers of the overall evaluation (Fig. 4 plus HeMem from the text).
+pub const OVERALL_MANAGERS: [&str; 7] =
+    ["first-touch", "hmc", "vanilla-autonuma", "autonuma", "autotiering", "hemem", "MTM"];
+
+/// The six workloads of Table 2.
+pub const WORKLOADS: [&str; 6] = ["GUPS", "VoltDB", "Cassandra", "BFS", "SSSP", "Spark"];
+
+/// Builds an MTM configuration matching the options.
+pub fn mtm_config(opts: &Opts) -> MtmConfig {
+    let mut cfg = MtmConfig::default();
+    cfg.promote_bytes = opts.promote_budget();
+    cfg
+}
+
+/// Builds a manager by name, or `None` for an unknown name; `MTM` and
+/// `MTM:<ablation>` build the core system, everything else resolves
+/// through the baseline factory.
+pub fn try_build_manager(name: &str, opts: &Opts, topo: &Topology) -> Option<Box<dyn MemoryManager>> {
+    if let Some(rest) = name.strip_prefix("MTM") {
+        let mut cfg = mtm_config(opts);
+        match rest {
+            "" => {}
+            ":w/o-AMR" => cfg.adaptive_regions = false,
+            ":w/o-APS" => cfg.adaptive_sampling = false,
+            ":w/o-OC" => {
+                cfg.overhead_control = false;
+                cfg.adaptive_regions = false;
+            }
+            ":w/o-PEBS" => cfg.pebs_assist = false,
+            ":w/o-async" => cfg.async_migration = false,
+            ":fast-first" => cfg.initial_placement = mtm::InitialPlacement::FastLocalFirst,
+            _ => return None,
+        }
+        return Some(Box::new(MtmManager::new(cfg, topo.nodes as usize)));
+    }
+    build_baseline(name, opts.promote_budget())
+}
+
+/// Builds a manager by name; panics on an unknown name (use
+/// [`try_build_manager`] to handle that case).
+pub fn build_manager(name: &str, opts: &Opts, topo: &Topology) -> Box<dyn MemoryManager> {
+    try_build_manager(name, opts, topo).unwrap_or_else(|| panic!("unknown manager {name:?}"))
+}
+
+/// Builds the machine a manager runs on: the four-tier Optane topology by
+/// default, Memory Mode caches for `hmc`, and all-component PEBS for
+/// `hemem`.
+pub fn machine_for(manager: &str, opts: &Opts, topo: Topology) -> Machine {
+    let mut cfg = MachineConfig::new(topo.clone(), opts.threads);
+    cfg.interval_ns = opts.interval_ns;
+    if manager == "hmc" {
+        cfg.hmc_mode = true;
+    }
+    if manager == "hemem" {
+        cfg.pebs = hemem_pebs_config(&topo);
+    }
+    Machine::new(cfg)
+}
+
+/// Runs one (manager, workload) pair on the four-tier machine.
+pub fn run_pair(manager: &str, workload: &str, opts: &Opts) -> RunReport {
+    let topo = optane_four_tier(opts.scale);
+    run_pair_on(manager, workload, opts, topo)
+}
+
+/// Runs one (manager, workload) pair on a given topology.
+pub fn run_pair_on(manager: &str, workload: &str, opts: &Opts, topo: Topology) -> RunReport {
+    let mut machine = machine_for(manager, opts, topo.clone());
+    let mut mgr = build_manager(manager, opts, &topo);
+    let mut wl: Box<dyn Workload> =
+        mtm_workloads::build_paper_workload(workload, opts.scale, opts.threads)
+            .unwrap_or_else(|| panic!("unknown workload {workload:?}"));
+    run_scenario(&mut machine, mgr.as_mut(), wl.as_mut(), opts.intervals)
+}
+
+type Cache = Mutex<HashMap<((u64, usize, u64, u64), String, String), Arc<RunReport>>>;
+
+fn cache() -> &'static Cache {
+    static CACHE: OnceLock<Cache> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Runs (or returns the cached result of) one pair on the default
+/// topology. Several experiments share the same underlying runs; the
+/// cache keeps `all` from re-running them.
+pub fn cached_run(manager: &str, workload: &str, opts: &Opts) -> Arc<RunReport> {
+    let key = (opts.key(), manager.to_string(), workload.to_string());
+    if let Some(hit) = cache().lock().expect("run cache poisoned").get(&key) {
+        return hit.clone();
+    }
+    let report = Arc::new(run_pair(manager, workload, opts));
+    cache().lock().expect("run cache poisoned").insert(key, report.clone());
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_all_overall_managers() {
+        let opts = Opts::quick();
+        let topo = optane_four_tier(opts.scale);
+        for name in OVERALL_MANAGERS {
+            let m = build_manager(name, &opts, &topo);
+            assert!(!m.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn mtm_variants_resolve() {
+        let opts = Opts::quick();
+        let topo = optane_four_tier(opts.scale);
+        for v in ["MTM", "MTM:w/o-AMR", "MTM:w/o-APS", "MTM:w/o-OC", "MTM:w/o-PEBS", "MTM:w/o-async", "MTM:fast-first"]
+        {
+            let _ = build_manager(v, &opts, &topo);
+        }
+    }
+
+    #[test]
+    fn cached_run_returns_same_instance() {
+        let mut opts = Opts::quick();
+        opts.intervals = 2;
+        opts.scale = 1 << 14;
+        let a = cached_run("first-touch", "GUPS", &opts);
+        let b = cached_run("first-touch", "GUPS", &opts);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(a.total_ns > 0.0);
+    }
+}

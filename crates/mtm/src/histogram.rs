@@ -1,0 +1,128 @@
+//! The EMA-hotness histogram driving migration selection (Sec. 6.1).
+//!
+//! MTM buckets the exponential moving average (`WHI`) of every region and
+//! promotes regions from the highest buckets / demotes from the lowest.
+//! The histogram is cheap to rebuild each interval (a few thousand
+//! regions) and keeps selection O(regions log regions).
+
+use crate::region::Region;
+
+/// A bucketed view over region hotness.
+#[derive(Debug)]
+pub struct HotnessHistogram {
+    /// `buckets[b]` holds region indices whose WHI falls in bucket `b`
+    /// (bucket 0 = coldest).
+    buckets: Vec<Vec<usize>>,
+    max_value: f64,
+}
+
+impl HotnessHistogram {
+    /// Builds a histogram of `regions` with `n_buckets` buckets over
+    /// `[0, max_value]` (`max_value` is `num_scans`, the largest possible
+    /// hotness indication).
+    pub fn build(regions: &[Region], n_buckets: usize, max_value: f64) -> HotnessHistogram {
+        assert!(n_buckets >= 2);
+        assert!(max_value > 0.0);
+        let mut buckets = vec![Vec::new(); n_buckets];
+        for (i, r) in regions.iter().enumerate() {
+            let b = Self::bucket_for(r.whi, n_buckets, max_value);
+            buckets[b].push(i);
+        }
+        HotnessHistogram { buckets, max_value }
+    }
+
+    fn bucket_for(whi: f64, n_buckets: usize, max_value: f64) -> usize {
+        let frac = (whi / max_value).clamp(0.0, 1.0);
+        ((frac * n_buckets as f64) as usize).min(n_buckets - 1)
+    }
+
+    /// The bucket index a WHI value falls into.
+    pub fn bucket_of(&self, whi: f64) -> usize {
+        Self::bucket_for(whi, self.buckets.len(), self.max_value)
+    }
+
+    /// Number of buckets.
+    pub fn n_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Region count per bucket (coldest first).
+    pub fn counts(&self) -> Vec<usize> {
+        self.buckets.iter().map(Vec::len).collect()
+    }
+
+    /// Region indices from the hottest bucket downwards, sorted by WHI
+    /// descending within each bucket.
+    pub fn hottest_first(&self, regions: &[Region]) -> Vec<usize> {
+        let mut out = Vec::new();
+        for bucket in self.buckets.iter().rev() {
+            let mut b = bucket.clone();
+            b.sort_by(|&a, &c| {
+                regions[c].whi.partial_cmp(&regions[a].whi).expect("whi is finite")
+            });
+            out.extend(b);
+        }
+        out
+    }
+
+    /// Region indices from the coldest bucket upwards, sorted by WHI
+    /// ascending within each bucket.
+    pub fn coldest_first(&self, regions: &[Region]) -> Vec<usize> {
+        let mut out = Vec::new();
+        for bucket in &self.buckets {
+            let mut b = bucket.clone();
+            b.sort_by(|&a, &c| {
+                regions[a].whi.partial_cmp(&regions[c].whi).expect("whi is finite")
+            });
+            out.extend(b);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiersim::addr::{VaRange, VirtAddr, PAGE_SIZE_2M};
+
+    fn regions(whis: &[f64]) -> Vec<Region> {
+        whis.iter()
+            .enumerate()
+            .map(|(i, &w)| {
+                let mut r = Region::new(
+                    VaRange::from_len(VirtAddr(i as u64 * PAGE_SIZE_2M), PAGE_SIZE_2M),
+                    1,
+                );
+                r.whi = w;
+                r
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bucketing_covers_range() {
+        let rs = regions(&[0.0, 1.4, 2.9, 3.0]);
+        let h = HotnessHistogram::build(&rs, 3, 3.0);
+        assert_eq!(h.counts(), vec![1, 1, 2]);
+        assert_eq!(h.bucket_of(0.0), 0);
+        assert_eq!(h.bucket_of(3.0), 2, "max value clamps into the top bucket");
+        assert_eq!(h.bucket_of(99.0), 2);
+    }
+
+    #[test]
+    fn hottest_first_orders_globally() {
+        let rs = regions(&[0.1, 2.8, 1.5, 2.9, 0.2]);
+        let h = HotnessHistogram::build(&rs, 4, 3.0);
+        let order = h.hottest_first(&rs);
+        assert_eq!(order, vec![3, 1, 2, 4, 0]);
+        let cold = h.coldest_first(&rs);
+        assert_eq!(cold, vec![0, 4, 2, 1, 3]);
+    }
+
+    #[test]
+    fn empty_region_set_is_fine() {
+        let h = HotnessHistogram::build(&[], 4, 3.0);
+        assert!(h.hottest_first(&[]).is_empty());
+        assert_eq!(h.counts(), vec![0, 0, 0, 0]);
+    }
+}

@@ -1,0 +1,349 @@
+//! `move_memory_regions()`: the adaptive (async/sync hybrid) migration
+//! mechanism of Sec. 7.
+//!
+//! The asynchronous path arms write tracking over the region (reserved PTE
+//! bit + one TLB flush), lets helper threads copy pages while the
+//! application keeps running, and commits the remap at the next interval.
+//! Only unmap/remap/page-table moves — and the write-tracking overhead —
+//! land on the critical path. If any page of the region is written while
+//! the copy is in flight, the mechanism switches to a synchronous copy:
+//! the copy cost is paid once more, on the critical path, exactly like the
+//! paper's re-copy on dirtiness.
+
+use tiersim::addr::VaRange;
+use tiersim::machine::Machine;
+use tiersim::migrate::{best_copy_node, copy_cost_ns, relocate_range, MigrateError, MigrateOutcome};
+use tiersim::tier::{ComponentId, NodeId};
+
+/// How many intervals a migrated range is left alone.
+const COOLDOWN_INTERVALS: u64 = 6;
+
+/// A migration started asynchronously, awaiting commit.
+#[derive(Clone, Copy, Debug)]
+struct PendingAsync {
+    range: VaRange,
+    src: Option<ComponentId>,
+    dst: ComponentId,
+    node: NodeId,
+    watch_id: u64,
+}
+
+/// Mechanism statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MigrationStats {
+    /// Regions migrated asynchronously without a dirty write.
+    pub async_clean: u64,
+    /// Async migrations that switched to a synchronous copy on a write.
+    pub switched_sync: u64,
+    /// Migrations run synchronously from the start.
+    pub sync_direct: u64,
+    /// Migrations dropped because the destination filled meanwhile.
+    pub dropped: u64,
+    /// Drops due to a full destination.
+    pub dropped_nospace: u64,
+    /// Drops because no page in the range still needed moving.
+    pub dropped_empty: u64,
+    /// Total bytes migrated by this engine.
+    pub bytes: u64,
+}
+
+/// The migration engine owned by the MTM daemon.
+#[derive(Debug)]
+pub struct MigrationEngine {
+    copy_threads: u32,
+    async_enabled: bool,
+    pending: Vec<PendingAsync>,
+    stats: MigrationStats,
+    /// Recently migrated ranges with the interval they were queued in.
+    history: std::collections::VecDeque<(u64, VaRange)>,
+    now_interval: u64,
+}
+
+impl MigrationEngine {
+    /// Creates an engine.
+    pub fn new(copy_threads: u32, async_enabled: bool) -> MigrationEngine {
+        MigrationEngine {
+            copy_threads,
+            async_enabled,
+            pending: Vec::new(),
+            stats: MigrationStats::default(),
+            history: std::collections::VecDeque::new(),
+            now_interval: 0,
+        }
+    }
+
+    /// Advances the engine's interval clock and expires old history.
+    pub fn note_interval(&mut self, interval: u64) {
+        self.now_interval = interval;
+        while let Some(&(at, _)) = self.history.front() {
+            if at + COOLDOWN_INTERVALS < interval {
+                self.history.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// True if `range` overlaps a migration from the last few intervals —
+    /// the policy leaves such ranges alone (cooldown against ping-pong).
+    pub fn recently_migrated(&self, range: VaRange) -> bool {
+        self.history.iter().any(|&(_, r)| r.overlaps(range))
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> MigrationStats {
+        self.stats
+    }
+
+    /// Bytes already committed (by pending migrations) against `component`
+    /// — space the policy must treat as reserved.
+    pub fn reserved_bytes(&self, component: ComponentId) -> u64 {
+        self.pending.iter().filter(|p| p.dst == component).map(|p| p.range.len()).sum()
+    }
+
+    /// Bytes that pending migrations will free on `component` (their
+    /// sources). Pending demotions make room for promotions queued after
+    /// them, since the queue commits in order.
+    pub fn outgoing_bytes(&self, component: ComponentId) -> u64 {
+        self.pending
+            .iter()
+            .filter(|p| p.src == Some(component))
+            .map(|p| p.range.len())
+            .sum()
+    }
+
+    /// Number of in-flight asynchronous migrations.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True if `range` overlaps a migration that is already in flight —
+    /// the policy must not select it again (its residency still shows the
+    /// source until the commit).
+    pub fn is_pending(&self, range: VaRange) -> bool {
+        self.pending.iter().any(|p| p.range.overlaps(range))
+    }
+
+    /// Starts migrating `range` to `dst`.
+    ///
+    /// With async enabled this arms write tracking and defers the move to
+    /// the next [`MigrationEngine::resolve_pending`]; otherwise the region
+    /// moves immediately with the full cost on the critical path.
+    pub fn migrate(&mut self, m: &mut Machine, range: VaRange, dst: ComponentId, node: NodeId) {
+        self.history.push_back((self.now_interval, range));
+        if self.async_enabled {
+            let src = crate::residency::majority_component(m, range);
+            let watch_id = m.arm_write_watch(range);
+            self.pending.push(PendingAsync { range, src, dst, node, watch_id });
+        } else {
+            match relocate_range(m, range, dst, node, self.copy_threads, false) {
+                Ok(out) => {
+                    m.charge_migration(out.breakdown.total_ns());
+                    self.stats.sync_direct += 1;
+                    self.stats.bytes += out.bytes;
+                }
+                Err(_) => self.stats.dropped += 1,
+            }
+        }
+    }
+
+    /// Commits every pending asynchronous migration (call at the start of
+    /// each interval hook). Clean regions pay only unmap/remap/page-table
+    /// cost; dirtied regions additionally pay one synchronous copy.
+    pub fn resolve_pending(&mut self, m: &mut Machine) {
+        for p in std::mem::take(&mut self.pending) {
+            let dirty = m.take_watch(p.watch_id);
+            match relocate_range(m, p.range, p.dst, p.node, self.copy_threads, false) {
+                Ok(out) => {
+                    let b = out.breakdown;
+                    let mut critical = b.unmap_ns + b.remap_ns + b.pt_ns;
+                    if dirty {
+                        // Switched to the synchronous copy: the exposed
+                        // re-copy runs with minimal parallelism (the main
+                        // thread plus one helper; the wp-fault cost was
+                        // already charged).
+                        let src = p.src.unwrap_or(p.dst);
+                        let n = best_copy_node(m, src, p.dst);
+                        critical += copy_cost_ns(m, n, src, p.dst, out.bytes, 2);
+                        self.stats.switched_sync += 1;
+                    } else {
+                        self.stats.async_clean += 1;
+                    }
+                    m.charge_migration(critical);
+                    self.stats.bytes += out.bytes;
+                }
+                Err(e) => {
+                    self.stats.dropped += 1;
+                    match e {
+                        MigrateError::NoSpace(_) => self.stats.dropped_nospace += 1,
+                        MigrateError::NothingMapped => self.stats.dropped_empty += 1,
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One-shot `move_memory_regions()` for micro-benchmarks (Figs. 3 and 11):
+/// migrates `range` to `dst` and reports the full step breakdown plus the
+/// critical-path portion, under an access pattern that did (or did not)
+/// write the region during the asynchronous copy.
+pub fn move_memory_regions_once(
+    m: &mut Machine,
+    range: VaRange,
+    dst: ComponentId,
+    node: NodeId,
+    copy_threads: u32,
+    written_during_copy: bool,
+) -> Result<(MigrateOutcome, f64), MigrateError> {
+    let watch_id = m.arm_write_watch(range);
+    let src = crate::residency::majority_component(m, range);
+    let mut out = match relocate_range(m, range, dst, node, copy_threads, false) {
+        Ok(out) => out,
+        Err(e) => {
+            let _ = m.take_watch(watch_id);
+            return Err(e);
+        }
+    };
+    let dirty_cost = if written_during_copy { m.cfg.costs.wp_fault_ns } else { 0.0 };
+    out.breakdown.track_ns += m.cfg.costs.tlb_flush_ns + dirty_cost;
+    let _ = m.take_watch(watch_id);
+    let b = out.breakdown;
+    let mut critical = b.unmap_ns + b.remap_ns + b.pt_ns + b.track_ns;
+    if written_during_copy {
+        // The exposed synchronous re-copy runs with minimal parallelism.
+        let src = src.unwrap_or(dst);
+        let n = best_copy_node(m, src, dst);
+        critical += copy_cost_ns(m, n, src, dst, out.bytes, 2);
+    }
+    m.charge_migration(critical);
+    Ok((out, critical))
+}
+
+/// The Nimble baseline mechanism: fully synchronous like `move_pages()`
+/// but with multi-threaded parallel copy and no THP splitting.
+pub fn nimble_move(
+    m: &mut Machine,
+    range: VaRange,
+    dst: ComponentId,
+    node: NodeId,
+    copy_threads: u32,
+) -> Result<MigrateOutcome, MigrateError> {
+    let out = relocate_range(m, range, dst, node, copy_threads, false)?;
+    m.charge_migration(out.breakdown.total_ns());
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiersim::addr::{VirtAddr, PAGE_SIZE_2M};
+    use tiersim::machine::{AccessKind, MachineConfig};
+    use tiersim::tier::tiny_two_tier;
+
+    fn machine() -> Machine {
+        let topo = tiny_two_tier(16 * PAGE_SIZE_2M, 16 * PAGE_SIZE_2M);
+        let mut m = Machine::new(MachineConfig::new(topo, 1));
+        let r = VaRange::from_len(VirtAddr(0), 4 * PAGE_SIZE_2M);
+        m.mmap("a", r, false);
+        m.prefault_range(r, &[0]).unwrap();
+        m
+    }
+
+    #[test]
+    fn async_clean_path_defers_and_commits() {
+        let mut m = machine();
+        let mut e = MigrationEngine::new(4, true);
+        let range = VaRange::from_len(VirtAddr(0), PAGE_SIZE_2M);
+        e.migrate(&mut m, range, 1, 0);
+        assert_eq!(e.in_flight(), 1);
+        assert_eq!(e.reserved_bytes(1), PAGE_SIZE_2M);
+        // Page still on the source while the copy is in flight.
+        assert_eq!(m.component_of(VirtAddr(0)), Some(0));
+        let migration_before = m.breakdown().migration_ns;
+        e.resolve_pending(&mut m);
+        assert_eq!(m.component_of(VirtAddr(0)), Some(1));
+        assert_eq!(e.stats().async_clean, 1);
+        assert_eq!(e.stats().switched_sync, 0);
+        let exposed = m.breakdown().migration_ns - migration_before;
+        // The exposed cost excludes the copy: it must be far below a full
+        // synchronous move of 2 MB over a 5 GB/s link (> 400 us).
+        assert!(exposed < 200_000.0, "exposed = {exposed}");
+    }
+
+    #[test]
+    fn write_during_flight_switches_to_sync() {
+        let mut m = machine();
+        let mut e = MigrationEngine::new(4, true);
+        let range = VaRange::from_len(VirtAddr(0), PAGE_SIZE_2M);
+        e.migrate(&mut m, range, 1, 0);
+        // The application writes the region while the copy is in flight.
+        m.access(0, VirtAddr(0x3000), AccessKind::Write);
+        e.resolve_pending(&mut m);
+        assert_eq!(e.stats().switched_sync, 1);
+        assert_eq!(e.stats().async_clean, 0);
+        // The copy cost landed on the critical path.
+        assert!(m.breakdown().migration_ns > 300_000.0);
+    }
+
+    #[test]
+    fn sync_mode_moves_immediately() {
+        let mut m = machine();
+        let mut e = MigrationEngine::new(4, false);
+        let range = VaRange::from_len(VirtAddr(0), PAGE_SIZE_2M);
+        e.migrate(&mut m, range, 1, 0);
+        assert_eq!(m.component_of(VirtAddr(0)), Some(1));
+        assert_eq!(e.stats().sync_direct, 1);
+        assert_eq!(e.in_flight(), 0);
+    }
+
+    #[test]
+    fn full_destination_drops_pending() {
+        let topo = tiny_two_tier(16 * PAGE_SIZE_2M, 4 * PAGE_SIZE_2M);
+        let mut m = Machine::new(MachineConfig::new(topo, 1));
+        let r = VaRange::from_len(VirtAddr(0), 6 * PAGE_SIZE_2M);
+        m.mmap("a", r, false);
+        m.prefault_range(r, &[0]).unwrap();
+        let mut e = MigrationEngine::new(4, true);
+        e.migrate(&mut m, VaRange::from_len(VirtAddr(0), 2 * PAGE_SIZE_2M), 1, 0);
+        e.migrate(&mut m, VaRange::from_len(VirtAddr(2 * PAGE_SIZE_2M), 2 * PAGE_SIZE_2M), 1, 0);
+        e.migrate(&mut m, VaRange::from_len(VirtAddr(4 * PAGE_SIZE_2M), 2 * PAGE_SIZE_2M), 1, 0);
+        e.resolve_pending(&mut m);
+        assert_eq!(e.stats().dropped, 1, "third region cannot fit");
+        assert_eq!(e.stats().async_clean, 2);
+    }
+
+    #[test]
+    fn microbench_breakdown_async_vs_dirty() {
+        let mut m = machine();
+        let (clean, crit_clean) = move_memory_regions_once(
+            &mut m,
+            VaRange::from_len(VirtAddr(0), PAGE_SIZE_2M),
+            1,
+            0,
+            4,
+            false,
+        )
+        .unwrap();
+        let (dirty, crit_dirty) = move_memory_regions_once(
+            &mut m,
+            VaRange::from_len(VirtAddr(PAGE_SIZE_2M), PAGE_SIZE_2M),
+            1,
+            0,
+            4,
+            true,
+        )
+        .unwrap();
+        assert!(crit_clean < clean.breakdown.total_ns(), "async hides copy+alloc");
+        assert!(crit_dirty > crit_clean, "dirty path pays the copy");
+        assert!(dirty.breakdown.track_ns > clean.breakdown.track_ns);
+    }
+
+    #[test]
+    fn nimble_charges_everything() {
+        let mut m = machine();
+        let out =
+            nimble_move(&mut m, VaRange::from_len(VirtAddr(0), PAGE_SIZE_2M), 1, 0, 4).unwrap();
+        assert_eq!(m.breakdown().migration_ns, out.breakdown.total_ns());
+    }
+}

@@ -1,0 +1,56 @@
+//! Helpers for asking where a region currently lives.
+
+use tiersim::addr::{VaRange, PAGE_SIZE_4K};
+use tiersim::machine::Machine;
+use tiersim::tier::ComponentId;
+
+/// Component backing the majority of a region, probed cheaply.
+///
+/// Regions are migrated wholesale, so their pages are almost always
+/// co-resident; probing a few positions is enough. Returns `None` when no
+/// probe hits a mapped page.
+pub fn majority_component(m: &Machine, range: VaRange) -> Option<ComponentId> {
+    let len = range.len();
+    let probes = [0u64, len / 2, len.saturating_sub(PAGE_SIZE_4K)];
+    // BTreeMap keeps the tie-break deterministic (lowest component id
+    // wins), so runs stay byte-for-byte reproducible.
+    let mut votes = std::collections::BTreeMap::new();
+    for &off in &probes {
+        if let Some(c) = m.component_of(tiersim::VirtAddr(range.start.0 + off)) {
+            *votes.entry(c).or_insert(0u32) += 1;
+        }
+    }
+    votes.into_iter().max_by_key(|&(c, v)| (v, std::cmp::Reverse(c))).map(|(c, _)| c)
+}
+
+/// Bytes of the region resident on each component (exact; walks the page
+/// table). Used by tests and reports rather than the hot path.
+pub fn residency_exact(m: &mut Machine, range: VaRange) -> Vec<(ComponentId, u64)> {
+    let mut map = std::collections::BTreeMap::new();
+    for (va, size) in m.page_table_mut().mapped_pages(range) {
+        let c = m.component_of(va).expect("page mapped");
+        *map.entry(c).or_insert(0u64) += size.bytes();
+    }
+    map.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiersim::addr::{VirtAddr, PAGE_SIZE_2M};
+    use tiersim::machine::MachineConfig;
+    use tiersim::tier::tiny_two_tier;
+
+    #[test]
+    fn majority_follows_placement() {
+        let topo = tiny_two_tier(8 * PAGE_SIZE_2M, 8 * PAGE_SIZE_2M);
+        let mut m = Machine::new(MachineConfig::new(topo, 1));
+        let range = VaRange::from_len(VirtAddr(0), PAGE_SIZE_2M);
+        m.mmap("a", range, false);
+        assert_eq!(majority_component(&m, range), None);
+        m.prefault_range(range, &[1]).unwrap();
+        assert_eq!(majority_component(&m, range), Some(1));
+        let exact = residency_exact(&mut m, range);
+        assert_eq!(exact, vec![(1, PAGE_SIZE_2M)]);
+    }
+}

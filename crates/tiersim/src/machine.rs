@@ -1,0 +1,861 @@
+//! The simulated multi-tiered machine.
+//!
+//! A [`Machine`] owns the topology, the page table, per-component frame
+//! allocators, the virtual clock, performance counters, the PEBS sampler,
+//! the hint-fault unit, and (in Memory-Mode) the hardware DRAM caches. Every
+//! simulated memory access goes through [`Machine::access`], which sets PTE
+//! accessed/dirty bits, fires hint and protection faults, feeds PEBS, and
+//! charges virtual time — the same signal surface the paper's profilers
+//! consume on real hardware.
+
+use std::collections::HashMap;
+
+use crate::addr::{VaRange, VirtAddr, CACHE_LINE, PAGE_SIZE_2M};
+use crate::cache::HwCache;
+use crate::clock::{Clock, TimeBreakdown};
+use crate::counters::Counters;
+use crate::frame::{FrameAllocator, FrameSize, OutOfMemory, VersionStore};
+use crate::hintfault::HintFaultUnit;
+use crate::page_table::{BuildU64Hasher, PageTable};
+use crate::pebs::{Pebs, PebsConfig};
+use crate::pte::{Pte, PTE_ACCESSED, PTE_DIRTY, PTE_NUMA_POISON, PTE_PROT_NONE, PTE_WRITE_TRACK};
+use crate::tier::{ComponentId, NodeId, Topology};
+
+/// Whether an access reads or writes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+/// Outcome of [`Machine::access`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AccessResult {
+    /// The access completed.
+    Ok,
+    /// No mapping covers the address; the caller must place the page and
+    /// retry (the simulator's demand-paging fault).
+    Unmapped,
+}
+
+/// A protection fault captured for a `PROT_NONE` page (Thermostat's
+/// profiling signal).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProtFault {
+    /// Base address of the faulting page.
+    pub page: VirtAddr,
+    /// Faulting thread.
+    pub tid: u32,
+    /// True if the faulting access was a write.
+    pub is_write: bool,
+}
+
+/// A region armed for write tracking during an asynchronous migration.
+#[derive(Clone, Copy, Debug)]
+struct WatchEntry {
+    range: VaRange,
+    dirty: bool,
+    id: u64,
+}
+
+/// Per-event and per-operation cost constants, in virtual nanoseconds.
+///
+/// Defaults are calibrated for the default simulation scale (see
+/// `DESIGN.md`): one PTE scan is cheap, a hint fault costs 12x a scan
+/// (Sec. 6.2), and a write-protection fault during migration costs ~40 µs
+/// (Sec. 9.5).
+#[derive(Clone, Debug)]
+pub struct CostModel {
+    /// Cost of scanning (read + clear) one PTE.
+    pub one_scan_ns: f64,
+    /// Hint-fault cost as a multiple of `one_scan_ns`.
+    pub hint_fault_mult: f64,
+    /// Cost of one TLB shootdown.
+    pub tlb_flush_ns: f64,
+    /// Cost of a demand-paging (allocation) fault.
+    pub page_fault_ns: f64,
+    /// Cost of handling one write-protection fault during async migration.
+    pub wp_fault_ns: f64,
+    /// Cost of a protection fault used by Thermostat-style profiling.
+    pub prot_fault_ns: f64,
+    /// Cost to allocate one destination page during migration.
+    pub migrate_alloc_page_ns: f64,
+    /// Cost to unmap (invalidate PTE of) one page during migration.
+    pub migrate_unmap_page_ns: f64,
+    /// Cost to remap one page during migration.
+    pub migrate_remap_page_ns: f64,
+    /// Cost to move the page-table pages of one region.
+    pub migrate_pt_region_ns: f64,
+    /// Cost charged per drained PEBS sample.
+    pub pebs_sample_ns: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel {
+            one_scan_ns: 60.0,
+            hint_fault_mult: 12.0,
+            tlb_flush_ns: 2_000.0,
+            page_fault_ns: 1_500.0,
+            wp_fault_ns: 40_000.0,
+            prot_fault_ns: 3_000.0,
+            migrate_alloc_page_ns: 250.0,
+            migrate_unmap_page_ns: 150.0,
+            migrate_remap_page_ns: 150.0,
+            migrate_pt_region_ns: 1_200.0,
+            pebs_sample_ns: 15.0,
+        }
+    }
+}
+
+impl CostModel {
+    /// Cost of one hint fault.
+    pub fn hint_fault_ns(&self) -> f64 {
+        self.one_scan_ns * self.hint_fault_mult
+    }
+}
+
+/// Configuration of a simulated machine.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Memory topology.
+    pub topology: Topology,
+    /// Number of application threads.
+    pub threads: usize,
+    /// CPU node each thread is pinned to (`thread_node[tid]`).
+    pub thread_node: Vec<NodeId>,
+    /// Memory-level-parallelism factor: effective per-access latency is
+    /// `link latency / mlp`. Defaults to 1: the paper's workloads chase
+    /// pointers and random indices (dependent loads), which out-of-order
+    /// cores cannot overlap.
+    pub mlp: f64,
+    /// Cost constants.
+    pub costs: CostModel,
+    /// PEBS programming.
+    pub pebs: PebsConfig,
+    /// Profiling-interval length used by interval-relative consumers.
+    pub interval_ns: f64,
+    /// Run the DRAM components as hardware caches of PM (Memory Mode).
+    pub hmc_mode: bool,
+    /// Track a 2 MB-granularity access heatmap (for Fig. 6 style plots).
+    pub track_heat: bool,
+}
+
+impl MachineConfig {
+    /// A sane default configuration over `topology`: `threads` threads
+    /// pinned round-robin across nodes, PEBS monitoring the PM components.
+    pub fn new(topology: Topology, threads: usize) -> MachineConfig {
+        let nodes = topology.nodes;
+        let pebs = PebsConfig::with_components(topology.pm_components());
+        MachineConfig {
+            topology,
+            threads,
+            thread_node: (0..threads).map(|t| (t as u16) % nodes).collect(),
+            mlp: 1.0,
+            costs: CostModel::default(),
+            pebs,
+            interval_ns: 10.0e6,
+            hmc_mode: false,
+            track_heat: false,
+        }
+    }
+
+    /// Pins all threads to one node (the paper's Table 6 setting).
+    pub fn pin_all_to(mut self, node: NodeId) -> MachineConfig {
+        self.thread_node = vec![node; self.threads];
+        self
+    }
+}
+
+/// Aggregate machine statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MachineStats {
+    /// Demand-paging faults served.
+    pub alloc_faults: u64,
+    /// Hint faults served.
+    pub hint_faults: u64,
+    /// Protection faults served.
+    pub prot_faults: u64,
+    /// Write-protection (async-migration tracking) faults served.
+    pub wp_faults: u64,
+    /// PTE scans performed.
+    pub pte_scans: u64,
+    /// TLB flushes performed.
+    pub tlb_flushes: u64,
+    /// Pages migrated (any mechanism).
+    pub pages_migrated: u64,
+    /// Bytes migrated (any mechanism).
+    pub bytes_migrated: u64,
+}
+
+/// The simulated machine.
+pub struct Machine {
+    /// Machine configuration (public for read access by policies).
+    pub cfg: MachineConfig,
+    pub(crate) pt: PageTable,
+    pub(crate) allocators: Vec<FrameAllocator>,
+    pub(crate) clock: Clock,
+    pub(crate) counters: Counters,
+    pub(crate) pebs: Pebs,
+    pub(crate) hints: HintFaultUnit,
+    pub(crate) versions: VersionStore,
+    pub(crate) stats: MachineStats,
+    prot_faults: Vec<ProtFault>,
+    watches: Vec<WatchEntry>,
+    watch_bounds: Option<VaRange>,
+    next_watch_id: u64,
+    /// DRAM cache per PM component id (Memory Mode only).
+    hmc_caches: HashMap<ComponentId, HwCache>,
+    /// PM component -> fronting DRAM component (Memory Mode).
+    hmc_front: HashMap<ComponentId, ComponentId>,
+    heat: HashMap<u64, u64, BuildU64Hasher>,
+}
+
+impl Machine {
+    /// Builds a machine from a configuration.
+    pub fn new(cfg: MachineConfig) -> Machine {
+        assert_eq!(cfg.thread_node.len(), cfg.threads, "one pin per thread");
+        let allocators = (0..cfg.topology.num_components() as u16)
+            .map(|c| FrameAllocator::new(c, cfg.topology.components[c as usize].capacity))
+            .collect();
+        let clock = Clock::new(cfg.threads, &cfg.topology);
+        let counters = Counters::new(cfg.topology.num_components());
+        let pebs = Pebs::new(&cfg.pebs);
+        let mut hmc_caches = HashMap::new();
+        let mut hmc_front = HashMap::new();
+        if cfg.hmc_mode {
+            for pm in cfg.topology.pm_components() {
+                let home = cfg.topology.components[pm as usize].home_node;
+                let dram = cfg
+                    .topology
+                    .dram_components()
+                    .into_iter()
+                    .find(|&d| cfg.topology.components[d as usize].home_node == home)
+                    .expect("each PM has a same-socket DRAM to act as its cache");
+                let cap = cfg.topology.components[dram as usize].capacity;
+                hmc_caches.insert(pm, HwCache::new(cap));
+                hmc_front.insert(pm, dram);
+            }
+        }
+        Machine {
+            cfg,
+            pt: PageTable::new(),
+            allocators,
+            clock,
+            counters,
+            pebs,
+            hints: HintFaultUnit::new(),
+            versions: VersionStore::new(),
+            stats: MachineStats::default(),
+            prot_faults: Vec::new(),
+            watches: Vec::new(),
+            watch_bounds: None,
+            next_watch_id: 1,
+            hmc_caches,
+            hmc_front,
+            heat: HashMap::default(),
+        }
+    }
+
+    /// The machine topology.
+    #[inline]
+    pub fn topology(&self) -> &Topology {
+        &self.cfg.topology
+    }
+
+    /// The page table (read-only).
+    #[inline]
+    pub fn page_table(&self) -> &PageTable {
+        &self.pt
+    }
+
+    /// Mutable page table access (for VMA registration and tests).
+    #[inline]
+    pub fn page_table_mut(&mut self) -> &mut PageTable {
+        &mut self.pt
+    }
+
+    /// Aggregate statistics.
+    #[inline]
+    pub fn stats(&self) -> MachineStats {
+        self.stats
+    }
+
+    /// Performance counters.
+    #[inline]
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Mutable counters (for window resets).
+    #[inline]
+    pub fn counters_mut(&mut self) -> &mut Counters {
+        &mut self.counters
+    }
+
+    /// The frame allocator of one component.
+    #[inline]
+    pub fn allocator(&self, component: ComponentId) -> &FrameAllocator {
+        &self.allocators[component as usize]
+    }
+
+    /// Mutable allocator access for tests that set up fragmentation.
+    #[doc(hidden)]
+    pub fn allocators_mut_for_test(&mut self, component: ComponentId) -> &mut FrameAllocator {
+        &mut self.allocators[component as usize]
+    }
+
+    /// CPU node a thread is pinned to.
+    #[inline]
+    pub fn node_of(&self, tid: usize) -> NodeId {
+        self.cfg.thread_node[tid]
+    }
+
+    /// Approximate current virtual time as seen by `tid` (committed time
+    /// plus the thread's open-interval latency clock).
+    #[inline]
+    pub fn approx_now_ns(&self, tid: usize) -> f64 {
+        self.clock.breakdown().total_ns() + self.clock.thread_ns(tid)
+    }
+
+    /// Committed time breakdown.
+    pub fn breakdown(&self) -> TimeBreakdown {
+        self.clock.breakdown()
+    }
+
+    /// Total committed virtual time.
+    pub fn elapsed_ns(&self) -> f64 {
+        self.clock.breakdown().total_ns()
+    }
+
+    /// Registers a VMA (see [`PageTable::mmap`]).
+    pub fn mmap(&mut self, name: &str, range: VaRange, thp: bool) {
+        self.pt.mmap(name, range, thp);
+    }
+
+    /// Charges pure compute time to a thread (application think time
+    /// between memory accesses — real workloads are not load-latency
+    /// machines; see DESIGN.md on access-density calibration).
+    #[inline]
+    pub fn compute(&mut self, tid: usize, ns: f64) {
+        let node = self.cfg.thread_node[tid];
+        self.clock.charge_access(tid, ns, node, 0, 0.0);
+    }
+
+    /// Issues one application access.
+    ///
+    /// Returns [`AccessResult::Unmapped`] if no mapping covers `va`; the
+    /// caller (normally the [`crate::sim`] driver) places the page via the
+    /// active manager's policy and retries.
+    pub fn access(&mut self, tid: usize, va: VirtAddr, kind: AccessKind) -> AccessResult {
+        let is_write = kind == AccessKind::Write;
+        let Some((pte, _size)) = self.pt.pte_mut(va) else {
+            return AccessResult::Unmapped;
+        };
+        let mut extra_ns = 0.0;
+        let flags = pte.0;
+        pte.set(PTE_ACCESSED);
+        if is_write {
+            pte.set(PTE_DIRTY);
+        }
+        let component = pte.frame().component();
+        let frame = pte.frame();
+
+        // Rare-path fault handling, gated on the copied flag word.
+        if flags & (PTE_NUMA_POISON | PTE_PROT_NONE | PTE_WRITE_TRACK) != 0 {
+            if flags & PTE_NUMA_POISON != 0 {
+                pte.clear(PTE_NUMA_POISON);
+                let node = self.cfg.thread_node[tid];
+                let page = va.page_4k();
+                let now = self.approx_now_ns(tid);
+                self.hints.fault(page, tid as u32, node, now);
+                self.stats.hint_faults += 1;
+                extra_ns += self.cfg.costs.hint_fault_ns();
+            }
+            if flags & PTE_PROT_NONE != 0 {
+                // Count once, then restore protection (Thermostat clears the
+                // trap after the first hit of the interval).
+                if let Some((pte, _)) = self.pt.pte_mut(va) {
+                    pte.clear(PTE_PROT_NONE);
+                }
+                self.prot_faults.push(ProtFault { page: va.page_4k(), tid: tid as u32, is_write });
+                self.stats.prot_faults += 1;
+                extra_ns += self.cfg.costs.prot_fault_ns;
+            }
+            if is_write && flags & PTE_WRITE_TRACK != 0 {
+                extra_ns += self.handle_wp_fault(va);
+            }
+        }
+
+        if is_write {
+            self.versions.bump(frame_page_base(frame));
+        }
+        if self.cfg.track_heat {
+            *self.heat.entry(va.0 >> 21).or_insert(0) += 1;
+        }
+        let node = self.cfg.thread_node[tid];
+        let t_ns = self.clock.thread_ns(tid);
+
+        // Cost: either through the hardware cache (Memory Mode) or direct.
+        if let Some(cache) = self.hmc_caches.get_mut(&component) {
+            let dram = self.hmc_front[&component];
+            // Probe at cache-line granularity: the accessed line's
+            // physical address, not the page base.
+            let page_span = match _size {
+                FrameSize::Huge2M => PAGE_SIZE_2M,
+                FrameSize::Base4K => crate::addr::PAGE_SIZE_4K,
+            };
+            let line_pa =
+                crate::addr::PhysAddr::new(frame.component(), frame.offset() + (va.0 & (page_span - 1)));
+            let probe = cache.access(line_pa, is_write);
+            let dram_link = self.cfg.topology.link(node, dram);
+            let pm_link = self.cfg.topology.link(node, component);
+            if probe.hit {
+                // A cache hit is served by (and counted against) DRAM.
+                self.counters.record(dram, is_write);
+                self.pebs.observe(va, tid as u32, dram, is_write, t_ns);
+                let lat = dram_link.latency_ns / self.cfg.mlp + extra_ns;
+                self.clock.charge_access(tid, lat, node, dram, CACHE_LINE as f64);
+            } else {
+                self.counters.record(component, is_write);
+                self.pebs.observe(va, tid as u32, component, is_write, t_ns);
+                // Memory Mode misses are serial: the tag check in DRAM
+                // happens before the PM access can start.
+                let lat = (dram_link.latency_ns + pm_link.latency_ns) / self.cfg.mlp + extra_ns;
+                let pm_bytes = probe.fill_bytes as f64
+                    + probe.writeback_bytes as f64 * pm_link.write_cost_factor();
+                self.clock.charge_access(tid, lat, node, component, pm_bytes);
+                self.clock.charge_access(tid, 0.0, node, dram, probe.fill_bytes as f64);
+            }
+        } else {
+            self.counters.record(component, is_write);
+            self.pebs.observe(va, tid as u32, component, is_write, t_ns);
+            let link = self.cfg.topology.link(node, component);
+            let lat = link.latency_ns / self.cfg.mlp + extra_ns;
+            let mut bytes = CACHE_LINE as f64;
+            if is_write {
+                // The roofline uses a read-bandwidth denominator; writes
+                // count as more bytes where write bandwidth is lower.
+                bytes *= link.write_cost_factor();
+            }
+            self.clock.charge_access(tid, lat, node, component, bytes);
+        }
+        AccessResult::Ok
+    }
+
+    fn handle_wp_fault(&mut self, va: VirtAddr) -> f64 {
+        let Some(idx) = self.watches.iter().position(|w| w.range.contains(va)) else {
+            // Stale tracking bit with no armed watch; just clear it.
+            if let Some((pte, _)) = self.pt.pte_mut(va) {
+                pte.clear(PTE_WRITE_TRACK);
+            }
+            return 0.0;
+        };
+        self.watches[idx].dirty = true;
+        // First write detected: tracking turns off for the whole region.
+        let range = self.watches[idx].range;
+        self.pt.for_each_mapped(range, |_, pte, _| pte.clear(PTE_WRITE_TRACK));
+        self.stats.wp_faults += 1;
+        self.cfg.costs.wp_fault_ns
+    }
+
+    /// Allocates and maps the page covering `va`, trying components in
+    /// `order`, honouring THP for eligible 2 MB chunks.
+    ///
+    /// Returns the chosen component. Charges a demand-paging fault to the
+    /// faulting thread.
+    pub fn alloc_and_map(
+        &mut self,
+        tid: usize,
+        va: VirtAddr,
+        order: &[ComponentId],
+    ) -> Result<ComponentId, OutOfMemory> {
+        self.alloc_and_map_inner(tid, va, order, true)
+    }
+
+    fn alloc_and_map_inner(
+        &mut self,
+        tid: usize,
+        va: VirtAddr,
+        order: &[ComponentId],
+        charge: bool,
+    ) -> Result<ComponentId, OutOfMemory> {
+        let huge_base = va.page_2m();
+        let want_huge = match self.pt.vma_of(va) {
+            Some(vma) => {
+                vma.thp
+                    && vma.range.contains(huge_base)
+                    && vma.range.contains(VirtAddr(huge_base.0 + PAGE_SIZE_2M - 1))
+                    && self.pt.translate(huge_base).is_none()
+                    && self.pt.mapped_page_count(VaRange::from_len(huge_base, PAGE_SIZE_2M)) == 0
+            }
+            None => false,
+        };
+        let size = if want_huge { FrameSize::Huge2M } else { FrameSize::Base4K };
+        let mut chosen = None;
+        for &c in order {
+            if self.allocators[c as usize].can_alloc(size) {
+                chosen = Some(c);
+                break;
+            }
+        }
+        let Some(c) = chosen else {
+            return Err(OutOfMemory { component: order.last().copied().unwrap_or(0), size });
+        };
+        let frame = self.allocators[c as usize].alloc(size).expect("can_alloc checked");
+        match size {
+            FrameSize::Huge2M => self.pt.map_2m(huge_base, Pte::map(frame, true)),
+            FrameSize::Base4K => self.pt.map_4k(va.page_4k(), Pte::map(frame, false)),
+        }
+        if charge {
+            self.stats.alloc_faults += 1;
+            let node = self.cfg.thread_node[tid];
+            self.clock.charge_access(tid, self.cfg.costs.page_fault_ns, node, c, 0.0);
+        }
+        Ok(c)
+    }
+
+    /// Maps an address range ahead of time (setup helper), charging nothing.
+    pub fn prefault_range(&mut self, range: VaRange, order: &[ComponentId]) -> Result<(), OutOfMemory> {
+        let mut va = range.start.page_4k();
+        while va < range.end {
+            if self.pt.translate(va).is_none() {
+                self.alloc_and_map_quiet(va, order)?;
+            }
+            // Skip to the end of whatever mapping now covers `va`.
+            let step = match self.pt.translate(va) {
+                Some(t) if t.size == FrameSize::Huge2M => PAGE_SIZE_2M - (va.0 - va.page_2m().0),
+                _ => crate::addr::PAGE_SIZE_4K,
+            };
+            va += step;
+        }
+        Ok(())
+    }
+
+    fn alloc_and_map_quiet(&mut self, va: VirtAddr, order: &[ComponentId]) -> Result<(), OutOfMemory> {
+        self.alloc_and_map_inner(0, va, order, false)?;
+        Ok(())
+    }
+
+    /// Scans one PTE: reads and clears its ACCESSED bit, charging one scan.
+    ///
+    /// Returns `None` if the page is unmapped, otherwise whether the bit was
+    /// set and whether the mapping is huge.
+    pub fn scan_page(&mut self, va: VirtAddr) -> Option<(bool, bool)> {
+        let (pte, size) = self.pt.pte_mut(va)?;
+        let accessed = pte.take_accessed();
+        let huge = size == FrameSize::Huge2M;
+        self.stats.pte_scans += 1;
+        self.clock.charge_profiling(self.cfg.costs.one_scan_ns);
+        Some((accessed, huge))
+    }
+
+    /// Reads the ACCESSED bit without clearing or charging (test helper).
+    pub fn peek_accessed(&self, va: VirtAddr) -> Option<bool> {
+        self.pt.translate(va).map(|t| t.pte.accessed())
+    }
+
+    /// Poisons the page covering `va` for a NUMA hint fault, charging one
+    /// scan's worth of profiling time.
+    pub fn poison_page(&mut self, va: VirtAddr) -> bool {
+        let now = self.clock.breakdown().total_ns();
+        let Some((pte, _)) = self.pt.pte_mut(va) else { return false };
+        pte.set(PTE_NUMA_POISON);
+        self.hints.poison(va.page_4k(), now);
+        self.clock.charge_profiling(self.cfg.costs.one_scan_ns);
+        true
+    }
+
+    /// Removes protection from the page covering `va` (Thermostat-style
+    /// fault-based profiling), charging one scan.
+    pub fn protect_page(&mut self, va: VirtAddr) -> bool {
+        let Some((pte, _)) = self.pt.pte_mut(va) else { return false };
+        pte.set(PTE_PROT_NONE);
+        self.clock.charge_profiling(self.cfg.costs.one_scan_ns);
+        true
+    }
+
+    /// Drains captured protection faults.
+    pub fn drain_prot_faults(&mut self) -> Vec<ProtFault> {
+        std::mem::take(&mut self.prot_faults)
+    }
+
+    /// Drains captured hint faults.
+    pub fn drain_hint_faults(&mut self) -> Vec<crate::hintfault::HintFault> {
+        self.hints.drain()
+    }
+
+    /// Version counter of a physical frame (bumped on every simulated
+    /// write; copied by migration). Lets tests prove no write is lost.
+    pub fn frame_version(&self, frame: crate::addr::PhysAddr) -> u64 {
+        self.versions.get(frame)
+    }
+
+    /// PEBS sampler statistics: `(samples taken, dropped, pending)`.
+    pub fn pebs_stats(&self) -> (u64, u64, usize) {
+        (self.pebs.taken(), self.pebs.dropped(), self.pebs.pending())
+    }
+
+    /// Drains PEBS samples, charging the per-sample processing cost to
+    /// profiling.
+    pub fn drain_pebs(&mut self) -> Vec<crate::pebs::PebsSample> {
+        let samples = self.pebs.drain();
+        self.clock.charge_profiling(samples.len() as f64 * self.cfg.costs.pebs_sample_ns);
+        samples
+    }
+
+    /// Arms write tracking over `range` for an asynchronous migration.
+    ///
+    /// Sets the reserved write-track bit on every mapped page in the range
+    /// and performs one TLB flush (Sec. 7.2: "flushes TLB for once").
+    /// Returns a watch id to pass to [`Machine::take_watch`].
+    pub fn arm_write_watch(&mut self, range: VaRange) -> u64 {
+        self.pt.for_each_mapped(range, |_, pte, _| pte.set(PTE_WRITE_TRACK));
+        self.clock.charge_migration(self.cfg.costs.tlb_flush_ns);
+        self.stats.tlb_flushes += 1;
+        let id = self.next_watch_id;
+        self.next_watch_id += 1;
+        self.watches.push(WatchEntry { range, dirty: false, id });
+        self.watch_bounds = Some(match self.watch_bounds {
+            None => range,
+            Some(b) => VaRange::new(b.start.min(range.start), b.end.max(range.end)),
+        });
+        id
+    }
+
+    /// Disarms a watch and reports whether a write was observed while armed.
+    pub fn take_watch(&mut self, id: u64) -> bool {
+        let Some(idx) = self.watches.iter().position(|w| w.id == id) else {
+            return false;
+        };
+        let w = self.watches.swap_remove(idx);
+        if !w.dirty {
+            // Tracking bits are still set; clear them.
+            self.pt.for_each_mapped(w.range, |_, pte, _| pte.clear(PTE_WRITE_TRACK));
+        }
+        if self.watches.is_empty() {
+            self.watch_bounds = None;
+        }
+        w.dirty
+    }
+
+    /// Closes the current profiling interval on the clock, returning its
+    /// wall time.
+    pub fn commit_interval(&mut self) -> f64 {
+        self.clock.commit_interval(&self.cfg.topology)
+    }
+
+    /// Wall time accumulated in the open interval so far.
+    pub fn open_interval_ns(&self) -> f64 {
+        self.clock.open_interval_ns(&self.cfg.topology)
+    }
+
+    /// Charges profiling time directly (manager bookkeeping).
+    pub fn charge_profiling(&mut self, ns: f64) {
+        self.clock.charge_profiling(ns);
+    }
+
+    /// Charges critical-path migration time directly.
+    pub fn charge_migration(&mut self, ns: f64) {
+        self.clock.charge_migration(ns);
+    }
+
+    /// Zeroes all time, counters and event statistics (used after
+    /// workload setup so reports exclude initialization).
+    pub fn reset_measurement(&mut self) {
+        self.clock = Clock::new(self.cfg.threads, &self.cfg.topology);
+        self.counters = Counters::new(self.cfg.topology.num_components());
+        self.heat.clear();
+        self.stats = MachineStats::default();
+        self.pebs = Pebs::new(&self.cfg.pebs);
+        self.prot_faults.clear();
+    }
+
+    /// The 2 MB-granularity access heatmap (empty unless `track_heat`).
+    pub fn heat_snapshot(&self) -> Vec<(VirtAddr, u64)> {
+        let mut v: Vec<(VirtAddr, u64)> =
+            self.heat.iter().map(|(&chunk, &n)| (VirtAddr(chunk << 21), n)).collect();
+        v.sort();
+        v
+    }
+
+    /// Component currently backing the page at `va`, if mapped.
+    pub fn component_of(&self, va: VirtAddr) -> Option<ComponentId> {
+        self.pt.translate(va).map(|t| t.pte.frame().component())
+    }
+
+    /// Bytes resident per component.
+    pub fn residency(&self) -> Vec<u64> {
+        self.allocators.iter().map(|a| a.used()).collect()
+    }
+
+    /// Hardware-cache hit ratio per PM component (Memory Mode only).
+    pub fn hmc_hit_ratios(&self) -> Vec<(ComponentId, f64)> {
+        let mut v: Vec<(ComponentId, f64)> =
+            self.hmc_caches.iter().map(|(&c, cache)| (c, cache.hit_ratio())).collect();
+        v.sort_by_key(|&(c, _)| c);
+        v
+    }
+}
+
+/// Rounds a frame address down to its 4 KB base for version bookkeeping.
+fn frame_page_base(frame: crate::addr::PhysAddr) -> crate::addr::PhysAddr {
+    crate::addr::PhysAddr::new(frame.component(), frame.offset() & !(crate::addr::PAGE_SIZE_4K - 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tier::tiny_two_tier;
+
+    fn machine() -> Machine {
+        let topo = tiny_two_tier(4 * PAGE_SIZE_2M, 16 * PAGE_SIZE_2M);
+        let mut cfg = MachineConfig::new(topo, 2);
+        cfg.mlp = 1.0;
+        let mut m = Machine::new(cfg);
+        m.mmap("test", VaRange::from_len(VirtAddr(0), 8 * PAGE_SIZE_2M), false);
+        m
+    }
+
+    #[test]
+    fn unmapped_access_faults() {
+        let mut m = machine();
+        assert_eq!(m.access(0, VirtAddr(0x1000), AccessKind::Read), AccessResult::Unmapped);
+        m.alloc_and_map(0, VirtAddr(0x1000), &[0, 1]).unwrap();
+        assert_eq!(m.access(0, VirtAddr(0x1000), AccessKind::Read), AccessResult::Ok);
+        assert_eq!(m.stats().alloc_faults, 1);
+    }
+
+    #[test]
+    fn access_sets_bits_and_counters() {
+        let mut m = machine();
+        let va = VirtAddr(0x3000);
+        m.alloc_and_map(0, va, &[0]).unwrap();
+        m.access(0, va, AccessKind::Write);
+        assert!(m.peek_accessed(va).unwrap());
+        assert_eq!(m.counters().component(0).stores, 1);
+        let (accessed, huge) = m.scan_page(va).unwrap();
+        assert!(accessed && !huge);
+        assert!(!m.peek_accessed(va).unwrap(), "scan clears the bit");
+        assert_eq!(m.stats().pte_scans, 1);
+    }
+
+    #[test]
+    fn thp_allocates_huge_frames() {
+        let topo = tiny_two_tier(4 * PAGE_SIZE_2M, 4 * PAGE_SIZE_2M);
+        let mut m = Machine::new(MachineConfig::new(topo, 1));
+        m.mmap("thp", VaRange::from_len(VirtAddr(0), 2 * PAGE_SIZE_2M), true);
+        m.alloc_and_map(0, VirtAddr(0x1234), &[0]).unwrap();
+        let t = m.page_table().translate(VirtAddr(0x1234)).unwrap();
+        assert_eq!(t.size, FrameSize::Huge2M);
+        assert_eq!(m.allocator(0).used(), PAGE_SIZE_2M);
+    }
+
+    #[test]
+    fn allocation_falls_through_full_components() {
+        let topo = tiny_two_tier(PAGE_SIZE_2M, 4 * PAGE_SIZE_2M);
+        let mut m = Machine::new(MachineConfig::new(topo, 1));
+        m.mmap("a", VaRange::from_len(VirtAddr(0), 8 * PAGE_SIZE_2M), true);
+        m.alloc_and_map(0, VirtAddr(0), &[0, 1]).unwrap();
+        let c = m.alloc_and_map(0, VirtAddr(PAGE_SIZE_2M), &[0, 1]).unwrap();
+        assert_eq!(c, 1, "fast component full; spilled to slow");
+    }
+
+    #[test]
+    fn hint_fault_captured_on_poisoned_access() {
+        let mut m = machine();
+        let va = VirtAddr(0x5000);
+        m.alloc_and_map(1, va, &[0]).unwrap();
+        assert!(m.poison_page(va));
+        m.access(1, va, AccessKind::Read);
+        let faults = m.drain_hint_faults();
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].page, va.page_4k());
+        assert_eq!(m.stats().hint_faults, 1);
+        // Poison cleared: no further fault.
+        m.access(1, va, AccessKind::Read);
+        assert!(m.drain_hint_faults().is_empty());
+    }
+
+    #[test]
+    fn prot_fault_counts_once() {
+        let mut m = machine();
+        let va = VirtAddr(0x7000);
+        m.alloc_and_map(0, va, &[0]).unwrap();
+        m.protect_page(va);
+        m.access(0, va, AccessKind::Write);
+        m.access(0, va, AccessKind::Write);
+        let faults = m.drain_prot_faults();
+        assert_eq!(faults.len(), 1);
+        assert!(faults[0].is_write);
+    }
+
+    #[test]
+    fn write_watch_detects_first_write_only() {
+        let mut m = machine();
+        let range = VaRange::from_len(VirtAddr(0), PAGE_SIZE_2M);
+        for p in 0..4u64 {
+            m.alloc_and_map(0, VirtAddr(p * 4096), &[0]).unwrap();
+        }
+        let id = m.arm_write_watch(range);
+        let wp_before = m.stats().wp_faults;
+        m.access(0, VirtAddr(0x1000), AccessKind::Read);
+        assert_eq!(m.stats().wp_faults, wp_before, "reads do not trip the watch");
+        m.access(0, VirtAddr(0x2000), AccessKind::Write);
+        m.access(0, VirtAddr(0x3000), AccessKind::Write);
+        assert_eq!(m.stats().wp_faults, 1, "tracking disarms after the first write");
+        assert!(m.take_watch(id));
+    }
+
+    #[test]
+    fn clean_watch_reports_clean() {
+        let mut m = machine();
+        m.alloc_and_map(0, VirtAddr(0), &[0]).unwrap();
+        let id = m.arm_write_watch(VaRange::from_len(VirtAddr(0), PAGE_SIZE_2M));
+        m.access(0, VirtAddr(0), AccessKind::Read);
+        assert!(!m.take_watch(id));
+    }
+
+    #[test]
+    fn prefault_is_free() {
+        let mut m = machine();
+        m.prefault_range(VaRange::from_len(VirtAddr(0), PAGE_SIZE_2M), &[1]).unwrap();
+        assert_eq!(m.stats().alloc_faults, 0);
+        assert_eq!(m.component_of(VirtAddr(0x1000)), Some(1));
+        assert_eq!(m.elapsed_ns(), 0.0);
+    }
+
+    #[test]
+    fn hmc_mode_routes_through_cache() {
+        let topo = tiny_two_tier(2 * PAGE_SIZE_2M, 16 * PAGE_SIZE_2M);
+        let mut cfg = MachineConfig::new(topo, 1);
+        cfg.hmc_mode = true;
+        cfg.mlp = 1.0;
+        let mut m = Machine::new(cfg);
+        m.mmap("a", VaRange::from_len(VirtAddr(0), PAGE_SIZE_2M), false);
+        m.alloc_and_map(0, VirtAddr(0), &[1]).unwrap();
+        m.access(0, VirtAddr(0), AccessKind::Read); // Miss.
+        m.access(0, VirtAddr(0), AccessKind::Read); // Hit.
+        let ratios = m.hmc_hit_ratios();
+        assert_eq!(ratios.len(), 1);
+        assert!((ratios[0].1 - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pebs_samples_slow_tier_only() {
+        let topo = tiny_two_tier(4 * PAGE_SIZE_2M, 16 * PAGE_SIZE_2M);
+        let mut cfg = MachineConfig::new(topo, 1);
+        cfg.pebs.period = 1;
+        let mut m = Machine::new(cfg);
+        m.mmap("a", VaRange::from_len(VirtAddr(0), 2 * PAGE_SIZE_2M), false);
+        m.alloc_and_map(0, VirtAddr(0), &[0]).unwrap();
+        m.alloc_and_map(0, VirtAddr(PAGE_SIZE_2M), &[1]).unwrap();
+        m.access(0, VirtAddr(0), AccessKind::Read);
+        m.access(0, VirtAddr(PAGE_SIZE_2M), AccessKind::Read);
+        let samples = m.drain_pebs();
+        assert_eq!(samples.len(), 1);
+        assert_eq!(samples[0].component, 1);
+    }
+}

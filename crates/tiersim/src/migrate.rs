@@ -1,0 +1,415 @@
+//! Page-migration primitives and the Linux `move_pages()` baseline.
+//!
+//! [`relocate_range`] is the mechanism-neutral core: it moves every mapped
+//! page of a virtual range to a destination component, performing the four
+//! steps of Sec. 7.1 — (1) allocate destination frames (including zeroing
+//! cost), (2) unmap/invalidate, (3) copy, (4) remap — plus moving the
+//! region's page-table pages. It *returns* the per-step cost breakdown and
+//! lets the caller decide which steps land on the critical path: the Linux
+//! `move_pages()` wrapper charges everything synchronously, while MTM's
+//! `move_memory_regions()` (in the `mtm` crate) overlaps steps 1 and 3 with
+//! application execution.
+
+use crate::addr::{VaRange, PAGE_SIZE_4K};
+use crate::frame::{FrameSize, OutOfMemory};
+use crate::machine::Machine;
+use crate::tier::{ComponentId, NodeId};
+
+/// Per-step migration costs in virtual nanoseconds (Fig. 3 / Fig. 11).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StepBreakdown {
+    /// Allocating (and zeroing) new pages in the target component.
+    pub alloc_ns: f64,
+    /// Unmapping the source pages (PTE invalidation).
+    pub unmap_ns: f64,
+    /// Copying page contents.
+    pub copy_ns: f64,
+    /// Mapping the new pages (PTE update).
+    pub remap_ns: f64,
+    /// Moving the corresponding page-table pages.
+    pub pt_ns: f64,
+    /// Dirtiness-tracking overhead (arming + faults), MTM only.
+    pub track_ns: f64,
+}
+
+impl StepBreakdown {
+    /// Sum of all steps.
+    pub fn total_ns(&self) -> f64 {
+        self.alloc_ns + self.unmap_ns + self.copy_ns + self.remap_ns + self.pt_ns + self.track_ns
+    }
+
+    /// Adds another breakdown step-wise.
+    pub fn add(&mut self, other: StepBreakdown) {
+        self.alloc_ns += other.alloc_ns;
+        self.unmap_ns += other.unmap_ns;
+        self.copy_ns += other.copy_ns;
+        self.remap_ns += other.remap_ns;
+        self.pt_ns += other.pt_ns;
+        self.track_ns += other.track_ns;
+    }
+}
+
+/// Result of a successful range relocation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MigrateOutcome {
+    /// Pages moved (huge pages count once).
+    pub pages: u64,
+    /// Bytes moved.
+    pub bytes: u64,
+    /// Per-step costs (not yet charged to any clock bucket).
+    pub breakdown: StepBreakdown,
+}
+
+/// Errors from migration primitives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MigrateError {
+    /// The destination cannot hold the pages being moved.
+    NoSpace(OutOfMemory),
+    /// The range contains no mapped pages.
+    NothingMapped,
+}
+
+impl std::fmt::Display for MigrateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MigrateError::NoSpace(oom) => write!(f, "migration failed: {oom}"),
+            MigrateError::NothingMapped => write!(f, "migration failed: no mapped pages in range"),
+        }
+    }
+}
+
+impl std::error::Error for MigrateError {}
+
+/// Sustained single-thread page-copy bandwidth, GB/s.
+const SINGLE_THREAD_COPY_GBPS: f64 = 6.0;
+
+/// Effective copy bandwidth (bytes/ns) between two components as seen from
+/// `node`, with `copy_threads` parallel copy threads.
+///
+/// A single kernel copy thread cannot saturate a fast link; parallel copy
+/// (Nimble, MTM helpers) scales until the slower of the two links caps it.
+pub fn copy_bandwidth(m: &Machine, node: NodeId, src: ComponentId, dst: ComponentId, copy_threads: u32) -> f64 {
+    let topo = m.topology();
+    let link_cap = topo.link(node, src).bytes_per_ns().min(topo.link(node, dst).bytes_per_ns());
+    link_cap.min(SINGLE_THREAD_COPY_GBPS * copy_threads.max(1) as f64)
+}
+
+/// The CPU node from which copying `src` -> `dst` is fastest.
+///
+/// Migration helper threads are kernel threads and can be scheduled on
+/// whichever socket maximizes copy throughput (MTM pins them at the
+/// highest priority, Sec. 7.2); page-migration costs therefore use the
+/// best placement rather than the requesting thread's socket.
+pub fn best_copy_node(m: &Machine, src: ComponentId, dst: ComponentId) -> NodeId {
+    let topo = m.topology();
+    (0..topo.nodes)
+        .max_by(|&a, &b| {
+            let ba = copy_bandwidth(m, a, src, dst, 1);
+            let bb = copy_bandwidth(m, b, src, dst, 1);
+            ba.partial_cmp(&bb).expect("bandwidth is finite")
+        })
+        .unwrap_or(0)
+}
+
+/// Cost to copy `bytes` from `src` to `dst` (latency + bandwidth term).
+pub fn copy_cost_ns(
+    m: &Machine,
+    node: NodeId,
+    src: ComponentId,
+    dst: ComponentId,
+    bytes: u64,
+    copy_threads: u32,
+) -> f64 {
+    let topo = m.topology();
+    let pages = bytes.div_ceil(PAGE_SIZE_4K);
+    let lat = (topo.link(node, src).latency_ns + topo.link(node, dst).latency_ns) * pages as f64
+        / copy_threads.max(1) as f64;
+    lat + bytes as f64 / copy_bandwidth(m, node, src, dst, copy_threads)
+}
+
+/// Cost to allocate and zero `bytes` of destination pages.
+pub fn alloc_cost_ns(m: &Machine, node: NodeId, dst: ComponentId, bytes: u64) -> f64 {
+    let pages = bytes.div_ceil(PAGE_SIZE_4K) as f64;
+    let zero = bytes as f64 / m.topology().link(node, dst).bytes_per_ns().min(12.0);
+    m.cfg.costs.migrate_alloc_page_ns * pages + zero
+}
+
+/// Checks whether `dst` has room for every mapped page in `range`.
+fn capacity_check(m: &mut Machine, range: VaRange, dst: ComponentId) -> Result<(), MigrateError> {
+    let mut need_4k = 0u64;
+    let mut need_2m = 0u64;
+    m.pt.for_each_mapped(range, |_, pte, size| {
+        if pte.frame().component() != dst {
+            match size {
+                FrameSize::Base4K => need_4k += 1,
+                FrameSize::Huge2M => need_2m += 1,
+            }
+        }
+    });
+    if need_4k == 0 && need_2m == 0 {
+        return Ok(());
+    }
+    let need_bytes = need_4k * PAGE_SIZE_4K + need_2m * crate::addr::PAGE_SIZE_2M;
+    if m.allocators[dst as usize].free() < need_bytes {
+        return Err(MigrateError::NoSpace(OutOfMemory {
+            component: dst,
+            size: if need_2m > 0 { FrameSize::Huge2M } else { FrameSize::Base4K },
+        }));
+    }
+    Ok(())
+}
+
+/// Allocates a destination frame for one page, splitting a huge mapping to
+/// base pages when the destination has the bytes but no contiguous huge
+/// frame (the THP-split fallback Linux performs under fragmentation).
+///
+/// Returns the frame and the (possibly downgraded) mapping size, or
+/// `None` when even base allocation fails.
+fn alloc_dst_frame(
+    m: &mut Machine,
+    va: crate::addr::VirtAddr,
+    size: FrameSize,
+    dst: ComponentId,
+) -> Option<(crate::addr::PhysAddr, FrameSize)> {
+    if let Ok(frame) = m.allocators[dst as usize].alloc(size) {
+        return Some((frame, size));
+    }
+    if size == FrameSize::Huge2M {
+        // Split the source THP and retry at base granularity.
+        if m.pt.split_huge(va) {
+            if let Ok(frame) = m.allocators[dst as usize].alloc(FrameSize::Base4K) {
+                return Some((frame, FrameSize::Base4K));
+            }
+        }
+    }
+    None
+}
+
+/// Moves every mapped page in `range` that is not already on `dst` to
+/// `dst`, splitting huge mappings first if `split_huge`.
+///
+/// Performs all four `move_pages()` steps, computing their costs, but does
+/// **not** charge the machine clock — callers charge the returned breakdown
+/// to the buckets their mechanism exposes on the critical path. Frame
+/// versions are copied so tests can verify no update is lost.
+pub fn relocate_range(
+    m: &mut Machine,
+    range: VaRange,
+    dst: ComponentId,
+    // Requesting node; copy threads are placed by `best_copy_node`, so
+    // the parameter documents intent and keeps call sites explicit.
+    _node: NodeId,
+    copy_threads: u32,
+    split_huge: bool,
+) -> Result<MigrateOutcome, MigrateError> {
+    if split_huge {
+        for base in range.iter_pages_2m() {
+            if matches!(m.pt.translate(base), Some(t) if t.size == FrameSize::Huge2M) {
+                m.pt.split_huge(base);
+            }
+        }
+    }
+    capacity_check(m, range, dst)?;
+    let pages = m.pt.mapped_pages(range);
+    if pages.is_empty() {
+        return Err(MigrateError::NothingMapped);
+    }
+    let costs = m.cfg.costs.clone();
+    let mut out = MigrateOutcome::default();
+    let mut any_moved = false;
+    let mut queue: std::collections::VecDeque<(crate::addr::VirtAddr, FrameSize)> = pages.into();
+    while let Some((va, size)) = queue.pop_front() {
+        let src = m.component_of(va).expect("page mapped");
+        if src == dst {
+            continue;
+        }
+        // Step 1: allocate (+ zero) the destination frame, splitting the
+        // THP when the destination lacks a contiguous huge frame.
+        let Some((new_frame, eff_size)) = alloc_dst_frame(m, va, size, dst) else {
+            continue;
+        };
+        if eff_size != size {
+            // The huge mapping was split: queue the sibling base pages
+            // that fall inside the requested range (the rest stay put).
+            for off in (PAGE_SIZE_4K..crate::addr::PAGE_SIZE_2M).step_by(PAGE_SIZE_4K as usize) {
+                let sibling = crate::addr::VirtAddr(va.0 + off);
+                if range.contains(sibling) {
+                    queue.push_back((sibling, FrameSize::Base4K));
+                }
+            }
+        }
+        let bytes = eff_size.bytes();
+        out.breakdown.alloc_ns += alloc_cost_ns(m, best_copy_node(m, dst, dst), dst, bytes);
+        // Step 2: unmap / invalidate.
+        let (old_pte, old_size) = m.pt.unmap(va).expect("page mapped");
+        debug_assert_eq!(old_size, eff_size, "split (if any) happened before unmap");
+        out.breakdown.unmap_ns += costs.migrate_unmap_page_ns;
+        // Step 3: copy contents (versions stand in for data).
+        for off in (0..bytes).step_by(PAGE_SIZE_4K as usize) {
+            let s = crate::addr::PhysAddr::new(old_pte.frame().component(), old_pte.frame().offset() + off);
+            let d = crate::addr::PhysAddr::new(new_frame.component(), new_frame.offset() + off);
+            m.versions.copy(s, d);
+            m.versions.forget(s);
+        }
+        let copy_node = best_copy_node(m, src, dst);
+        out.breakdown.copy_ns += copy_cost_ns(m, copy_node, src, dst, bytes, copy_threads);
+        // Step 4: remap.
+        let new_pte = old_pte.with_frame(new_frame);
+        match eff_size {
+            FrameSize::Huge2M => m.pt.map_2m(va, new_pte),
+            FrameSize::Base4K => m.pt.map_4k(va, new_pte),
+        }
+        out.breakdown.remap_ns += costs.migrate_remap_page_ns;
+        m.allocators[src as usize].free_frame(old_pte.frame(), eff_size);
+        out.pages += 1;
+        out.bytes += bytes;
+        any_moved = true;
+    }
+    if !any_moved {
+        return Err(MigrateError::NothingMapped);
+    }
+    // Moving the page-table pages costs one unit per 2 MB region's worth
+    // of pages; pro-rate for smaller moves so per-page migrators are not
+    // overcharged.
+    out.breakdown.pt_ns +=
+        costs.migrate_pt_region_ns * (out.bytes as f64 / crate::addr::PAGE_SIZE_2M as f64).max(0.01);
+    m.stats.pages_migrated += out.pages;
+    m.stats.bytes_migrated += out.bytes;
+    Ok(out)
+}
+
+/// The Linux `move_pages()` baseline: sequential 4 KB migration with every
+/// step exposed on the critical path.
+///
+/// Huge mappings are split to 4 KB first (the syscall operates on base
+/// pages). Charges the full cost to the machine's migration bucket and
+/// returns the outcome.
+pub fn move_pages_linux(
+    m: &mut Machine,
+    range: VaRange,
+    dst: ComponentId,
+    node: NodeId,
+) -> Result<MigrateOutcome, MigrateError> {
+    let out = relocate_range(m, range, dst, node, 1, true)?;
+    m.charge_migration(out.breakdown.total_ns());
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{VirtAddr, PAGE_SIZE_2M};
+    use crate::machine::{AccessKind, MachineConfig};
+    use crate::tier::tiny_two_tier;
+
+    fn machine() -> Machine {
+        let topo = tiny_two_tier(8 * PAGE_SIZE_2M, 8 * PAGE_SIZE_2M);
+        let mut m = Machine::new(MachineConfig::new(topo, 1));
+        m.mmap("a", VaRange::from_len(VirtAddr(0), 8 * PAGE_SIZE_2M), false);
+        m
+    }
+
+    #[test]
+    fn relocation_moves_pages_and_preserves_versions() {
+        let mut m = machine();
+        let range = VaRange::from_len(VirtAddr(0), PAGE_SIZE_2M);
+        m.prefault_range(range, &[0]).unwrap();
+        m.access(0, VirtAddr(0x1000), AccessKind::Write);
+        m.access(0, VirtAddr(0x1000), AccessKind::Write);
+        let out = relocate_range(&mut m, range, 1, 0, 1, false).unwrap();
+        assert_eq!(out.pages, 512);
+        assert_eq!(out.bytes, PAGE_SIZE_2M);
+        assert_eq!(m.component_of(VirtAddr(0x1000)), Some(1));
+        // The moved frame carries the two writes.
+        let t = m.page_table().translate(VirtAddr(0x1000)).unwrap();
+        assert_eq!(m.versions.get(t.pte.frame()), 2);
+        // Source space is reclaimed.
+        assert_eq!(m.allocator(0).used(), 0);
+        assert_eq!(m.allocator(1).used(), PAGE_SIZE_2M);
+    }
+
+    #[test]
+    fn huge_mapping_moves_whole() {
+        let topo = tiny_two_tier(8 * PAGE_SIZE_2M, 8 * PAGE_SIZE_2M);
+        let mut m = Machine::new(MachineConfig::new(topo, 1));
+        m.mmap("thp", VaRange::from_len(VirtAddr(0), 2 * PAGE_SIZE_2M), true);
+        m.prefault_range(VaRange::from_len(VirtAddr(0), PAGE_SIZE_2M), &[0]).unwrap();
+        let out = relocate_range(&mut m, VaRange::from_len(VirtAddr(0), PAGE_SIZE_2M), 1, 0, 1, false).unwrap();
+        assert_eq!(out.pages, 1, "huge page moved as one unit");
+        let t = m.page_table().translate(VirtAddr(0)).unwrap();
+        assert!(t.pte.huge());
+        assert_eq!(t.pte.frame().component(), 1);
+    }
+
+    #[test]
+    fn move_pages_splits_huge_and_charges() {
+        let topo = tiny_two_tier(8 * PAGE_SIZE_2M, 8 * PAGE_SIZE_2M);
+        let mut m = Machine::new(MachineConfig::new(topo, 1));
+        m.mmap("thp", VaRange::from_len(VirtAddr(0), 2 * PAGE_SIZE_2M), true);
+        m.prefault_range(VaRange::from_len(VirtAddr(0), PAGE_SIZE_2M), &[0]).unwrap();
+        let out = move_pages_linux(&mut m, VaRange::from_len(VirtAddr(0), PAGE_SIZE_2M), 1, 0).unwrap();
+        assert_eq!(out.pages, 512, "THP split into base pages");
+        assert!(m.breakdown().migration_ns > 0.0);
+        assert_eq!(m.breakdown().migration_ns, out.breakdown.total_ns());
+    }
+
+    #[test]
+    fn relocation_rejects_when_destination_full() {
+        let topo = tiny_two_tier(8 * PAGE_SIZE_2M, 2 * PAGE_SIZE_2M);
+        let mut m = Machine::new(MachineConfig::new(topo, 1));
+        m.mmap("a", VaRange::from_len(VirtAddr(0), 8 * PAGE_SIZE_2M), false);
+        m.prefault_range(VaRange::from_len(VirtAddr(0), 4 * PAGE_SIZE_2M), &[0]).unwrap();
+        let err = relocate_range(&mut m, VaRange::from_len(VirtAddr(0), 4 * PAGE_SIZE_2M), 1, 0, 1, false);
+        assert!(matches!(err, Err(MigrateError::NoSpace(_))));
+        // Nothing was moved.
+        assert_eq!(m.allocator(1).used(), 0);
+        assert_eq!(m.stats().pages_migrated, 0);
+    }
+
+    #[test]
+    fn already_resident_pages_are_skipped() {
+        let mut m = machine();
+        let range = VaRange::from_len(VirtAddr(0), PAGE_SIZE_2M);
+        m.prefault_range(range, &[1]).unwrap();
+        let err = relocate_range(&mut m, range, 1, 0, 1, false);
+        assert!(matches!(err, Err(MigrateError::NothingMapped)), "no page needed moving");
+    }
+
+    #[test]
+    fn thp_splits_when_destination_lacks_huge_frames() {
+        // Destination has bytes free only as scattered 4 KB frames.
+        let topo = tiny_two_tier(8 * PAGE_SIZE_2M, 2 * PAGE_SIZE_2M);
+        let mut m = Machine::new(MachineConfig::new(topo, 1));
+        m.mmap("thp", VaRange::from_len(VirtAddr(0), 2 * PAGE_SIZE_2M), true);
+        m.prefault_range(VaRange::from_len(VirtAddr(0), PAGE_SIZE_2M), &[0]).unwrap();
+        // Fragment the destination: allocate one 4 KB frame from each of
+        // its two blocks, then free one block's worth minus a page.
+        let a = m.allocators_mut_for_test(1).alloc(FrameSize::Base4K).unwrap();
+        let _b = m.allocators_mut_for_test(1).alloc(FrameSize::Huge2M).unwrap();
+        m.allocators_mut_for_test(1).free_frame(a, FrameSize::Base4K);
+        // No huge frame is available (one block is carved, one is taken),
+        // but 4 KB frames are: the huge mapping must split and move.
+        let out = relocate_range(&mut m, VaRange::from_len(VirtAddr(0), PAGE_SIZE_2M), 1, 0, 1, false)
+            .unwrap();
+        assert_eq!(out.pages, 512, "moved as base pages after the split");
+        let t = m.page_table().translate(VirtAddr(0)).unwrap();
+        assert_eq!(t.size, FrameSize::Base4K);
+        assert_eq!(t.pte.frame().component(), 1);
+    }
+
+    #[test]
+    fn parallel_copy_is_faster() {
+        let m = machine();
+        let one = copy_cost_ns(&m, 0, 0, 1, PAGE_SIZE_2M, 1);
+        let four = copy_cost_ns(&m, 0, 0, 1, PAGE_SIZE_2M, 4);
+        assert!(four < one, "parallel copy reduces cost ({four} !< {one})");
+    }
+
+    #[test]
+    fn slow_link_caps_copy_bandwidth() {
+        let m = machine();
+        // Slow tier link is 5 GB/s; even 8 threads cannot exceed it.
+        let bw = copy_bandwidth(&m, 0, 0, 1, 8);
+        assert!((bw - 5.0).abs() < 1e-9);
+    }
+}

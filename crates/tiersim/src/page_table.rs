@@ -1,0 +1,379 @@
+//! Software radix page table with VMAs, 4 KB PTEs and 2 MB huge mappings.
+//!
+//! The table stores one entry per valid last-level page-directory slot
+//! (2 MB of virtual space): either a single huge-page PTE or a leaf table of
+//! 512 base PTEs. Profilers form their initial memory regions from the set
+//! of valid last-level PDEs, exactly as MTM does (Sec. 5.1).
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+use crate::addr::{VaRange, VirtAddr, PAGE_SIZE_2M, PAGE_SIZE_4K, PTES_PER_PD};
+use crate::frame::FrameSize;
+use crate::pte::Pte;
+
+/// Fast, deterministic hasher for `u64` keys (SplitMix64 finalizer).
+///
+/// The page-table lookup sits on the per-access hot path; the default SipHash
+/// is measurably slower and we need no HashDoS resistance in a simulator.
+#[derive(Default)]
+pub struct U64Hasher {
+    state: u64,
+}
+
+impl Hasher for U64Hasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Fallback for non-u64 keys; not on the hot path.
+        for &b in bytes {
+            self.state = self.state.wrapping_mul(0x100000001b3).wrapping_add(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, mut x: u64) {
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+        self.state = x ^ (x >> 31);
+    }
+}
+
+/// `BuildHasher` for [`U64Hasher`].
+pub type BuildU64Hasher = BuildHasherDefault<U64Hasher>;
+
+/// One valid last-level page-directory entry.
+#[derive(Debug)]
+pub enum PdEntry {
+    /// The 2 MB span is mapped by a single huge-page PTE.
+    Huge(Pte),
+    /// The span is mapped by a leaf table of 512 base PTEs.
+    Table(Box<[Pte; 512]>),
+}
+
+/// A virtual memory area registered by a workload.
+#[derive(Clone, Debug)]
+pub struct Vma {
+    /// Name used in reports and heatmaps (e.g. `"hotset"`).
+    pub name: String,
+    /// Address range covered by the VMA.
+    pub range: VaRange,
+    /// Whether transparent huge pages are enabled (`madvise(MADV_HUGEPAGE)`).
+    pub thp: bool,
+}
+
+/// The per-process page table plus the VMA list.
+#[derive(Default)]
+pub struct PageTable {
+    pds: HashMap<u64, PdEntry, BuildU64Hasher>,
+    vmas: Vec<Vma>,
+    mapped_bytes: u64,
+}
+
+/// Result of translating a virtual address.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Translation {
+    /// The covering PTE (copied out).
+    pub pte: Pte,
+    /// Granularity of the mapping.
+    pub size: FrameSize,
+}
+
+impl PageTable {
+    /// Creates an empty page table.
+    pub fn new() -> PageTable {
+        PageTable::default()
+    }
+
+    /// Registers a VMA. Ranges must be 4 KB aligned and non-overlapping.
+    pub fn mmap(&mut self, name: &str, range: VaRange, thp: bool) {
+        assert!(range.start.is_4k_aligned() && range.end.is_4k_aligned(), "VMA must be page-aligned");
+        assert!(
+            !self.vmas.iter().any(|v| v.range.overlaps(range)),
+            "VMA {range:?} overlaps an existing mapping"
+        );
+        self.vmas.push(Vma { name: name.to_string(), range, thp });
+        self.vmas.sort_by_key(|v| v.range.start);
+    }
+
+    /// The registered VMAs in address order.
+    pub fn vmas(&self) -> &[Vma] {
+        &self.vmas
+    }
+
+    /// Finds the VMA containing `va`.
+    pub fn vma_of(&self, va: VirtAddr) -> Option<&Vma> {
+        let idx = self.vmas.partition_point(|v| v.range.end.0 <= va.0);
+        self.vmas.get(idx).filter(|v| v.range.contains(va))
+    }
+
+    /// Total bytes currently mapped.
+    #[inline]
+    pub fn mapped_bytes(&self) -> u64 {
+        self.mapped_bytes
+    }
+
+    /// Number of valid last-level PDEs.
+    pub fn valid_pde_count(&self) -> usize {
+        self.pds.len()
+    }
+
+    /// Looks up the mapping covering `va` without touching flag bits.
+    #[inline]
+    pub fn translate(&self, va: VirtAddr) -> Option<Translation> {
+        match self.pds.get(&va.pde_index())? {
+            PdEntry::Huge(pte) if pte.present() => {
+                Some(Translation { pte: *pte, size: FrameSize::Huge2M })
+            }
+            PdEntry::Table(t) => {
+                let pte = t[va.pte_index()];
+                pte.present().then_some(Translation { pte, size: FrameSize::Base4K })
+            }
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the PTE covering `va`, with its mapping size.
+    #[inline]
+    pub fn pte_mut(&mut self, va: VirtAddr) -> Option<(&mut Pte, FrameSize)> {
+        match self.pds.get_mut(&va.pde_index())? {
+            PdEntry::Huge(pte) if pte.present() => Some((pte, FrameSize::Huge2M)),
+            PdEntry::Table(t) => {
+                let pte = &mut t[va.pte_index()];
+                pte.present().then_some((pte, FrameSize::Base4K))
+            }
+            _ => None,
+        }
+    }
+
+    /// Installs a 4 KB mapping at `va` (must not already be mapped).
+    pub fn map_4k(&mut self, va: VirtAddr, pte: Pte) {
+        debug_assert!(pte.present() && !pte.huge());
+        let slot = self.pds.entry(va.pde_index()).or_insert_with(|| PdEntry::Table(Box::new([Pte::EMPTY; 512])));
+        match slot {
+            PdEntry::Table(t) => {
+                assert!(!t[va.pte_index()].present(), "double map at {va:?}");
+                t[va.pte_index()] = pte;
+            }
+            PdEntry::Huge(_) => panic!("4K map inside huge mapping at {va:?}"),
+        }
+        self.mapped_bytes += PAGE_SIZE_4K;
+    }
+
+    /// Installs a 2 MB huge mapping at `va` (must be 2 MB aligned and empty).
+    pub fn map_2m(&mut self, va: VirtAddr, pte: Pte) {
+        debug_assert!(pte.present() && pte.huge());
+        assert!(va.is_2m_aligned(), "huge mapping must be 2 MB aligned");
+        let prev = self.pds.insert(va.pde_index(), PdEntry::Huge(pte));
+        assert!(prev.is_none(), "double map at {va:?}");
+        self.mapped_bytes += PAGE_SIZE_2M;
+    }
+
+    /// Removes the mapping covering `va`, returning the old PTE and size.
+    pub fn unmap(&mut self, va: VirtAddr) -> Option<(Pte, FrameSize)> {
+        let pde = va.pde_index();
+        match self.pds.get_mut(&pde)? {
+            PdEntry::Huge(pte) => {
+                let old = *pte;
+                self.pds.remove(&pde);
+                self.mapped_bytes -= PAGE_SIZE_2M;
+                Some((old, FrameSize::Huge2M))
+            }
+            PdEntry::Table(t) => {
+                let slot = &mut t[va.pte_index()];
+                if !slot.present() {
+                    return None;
+                }
+                let old = *slot;
+                *slot = Pte::EMPTY;
+                self.mapped_bytes -= PAGE_SIZE_4K;
+                if t.iter().all(|p| !p.present()) {
+                    self.pds.remove(&pde);
+                }
+                Some((old, FrameSize::Base4K))
+            }
+        }
+    }
+
+    /// Visits every mapped page whose base address lies in `range`.
+    ///
+    /// The callback receives the page base address, a mutable PTE reference
+    /// and the mapping size. Huge pages are visited once (at their 2 MB
+    /// base) if that base is inside the range.
+    pub fn for_each_mapped(
+        &mut self,
+        range: VaRange,
+        mut f: impl FnMut(VirtAddr, &mut Pte, FrameSize),
+    ) {
+        let first_pde = range.start.pde_index();
+        let last_pde = if range.is_empty() { return } else { (range.end.0 - 1) >> 21 };
+        for pde in first_pde..=last_pde {
+            let Some(entry) = self.pds.get_mut(&pde) else { continue };
+            let base = VirtAddr(pde << 21);
+            match entry {
+                PdEntry::Huge(pte) => {
+                    if pte.present() && range.contains(base) {
+                        f(base, pte, FrameSize::Huge2M);
+                    }
+                }
+                PdEntry::Table(t) => {
+                    for (i, pte) in t.iter_mut().enumerate() {
+                        if pte.present() {
+                            let va = base + (i as u64) * PAGE_SIZE_4K;
+                            if range.contains(va) {
+                                f(va, pte, FrameSize::Base4K);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Collects the base addresses of mapped pages in `range`.
+    pub fn mapped_pages(&mut self, range: VaRange) -> Vec<(VirtAddr, FrameSize)> {
+        let mut out = Vec::new();
+        self.for_each_mapped(range, |va, _, size| out.push((va, size)));
+        out
+    }
+
+    /// Base virtual addresses of all valid last-level PDEs, sorted.
+    ///
+    /// These are the default memory regions profilers start from.
+    pub fn valid_pde_bases(&self) -> Vec<VirtAddr> {
+        let mut v: Vec<VirtAddr> = self.pds.keys().map(|&p| VirtAddr(p << 21)).collect();
+        v.sort();
+        v
+    }
+
+    /// Number of mapped pages (of either size) in `range`.
+    pub fn mapped_page_count(&mut self, range: VaRange) -> usize {
+        let mut n = 0;
+        self.for_each_mapped(range, |_, _, _| n += 1);
+        n
+    }
+
+    /// Splits the huge mapping covering `va` into 512 base mappings that all
+    /// point into the same (now logically fragmented) huge frame.
+    ///
+    /// Mirrors THP splitting in Linux: the physical frame stays where it is;
+    /// the mapping granularity drops to 4 KB so individual subpages can be
+    /// migrated. Returns `false` if `va` is not covered by a huge mapping.
+    pub fn split_huge(&mut self, va: VirtAddr) -> bool {
+        let pde = va.pde_index();
+        let Some(PdEntry::Huge(pte)) = self.pds.get(&pde) else { return false };
+        let huge = *pte;
+        let base_frame = huge.frame();
+        let mut table = Box::new([Pte::EMPTY; 512]);
+        for (i, slot) in table.iter_mut().enumerate() {
+            let frame = crate::addr::PhysAddr::new(
+                base_frame.component(),
+                base_frame.offset() + (i as u64) * PAGE_SIZE_4K,
+            );
+            let mut p = Pte::map(frame, false);
+            // Carry over A/D state so profiling history is not lost.
+            p.0 |= huge.0 & (crate::pte::PTE_ACCESSED | crate::pte::PTE_DIRTY);
+            *slot = p;
+        }
+        self.pds.insert(pde, PdEntry::Table(table));
+        // 2 MB was mapped before and after; `mapped_bytes` is unchanged
+        // (512 * 4 KB == 2 MB).
+        debug_assert_eq!(PTES_PER_PD * PAGE_SIZE_4K, PAGE_SIZE_2M);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::PhysAddr;
+
+    fn pte4k(c: u16, off: u64) -> Pte {
+        Pte::map(PhysAddr::new(c, off), false)
+    }
+
+    #[test]
+    fn map_translate_unmap_4k() {
+        let mut pt = PageTable::new();
+        let va = VirtAddr(0x40_0000);
+        pt.map_4k(va, pte4k(1, 0x1000));
+        let t = pt.translate(va).unwrap();
+        assert_eq!(t.size, FrameSize::Base4K);
+        assert_eq!(t.pte.frame(), PhysAddr::new(1, 0x1000));
+        assert_eq!(pt.mapped_bytes(), PAGE_SIZE_4K);
+        let (old, size) = pt.unmap(va).unwrap();
+        assert_eq!(size, FrameSize::Base4K);
+        assert_eq!(old.frame(), PhysAddr::new(1, 0x1000));
+        assert!(pt.translate(va).is_none());
+        assert_eq!(pt.valid_pde_count(), 0, "empty leaf tables are pruned");
+    }
+
+    #[test]
+    fn huge_mapping_covers_span() {
+        let mut pt = PageTable::new();
+        let base = VirtAddr(4 * PAGE_SIZE_2M);
+        pt.map_2m(base, Pte::map(PhysAddr::new(2, 0), true));
+        for off in [0u64, 4096, PAGE_SIZE_2M - 1] {
+            let t = pt.translate(VirtAddr(base.0 + off)).unwrap();
+            assert_eq!(t.size, FrameSize::Huge2M);
+        }
+        assert!(pt.translate(VirtAddr(base.0 + PAGE_SIZE_2M)).is_none());
+    }
+
+    #[test]
+    fn for_each_mapped_respects_range() {
+        let mut pt = PageTable::new();
+        for i in 0..4u64 {
+            pt.map_4k(VirtAddr(i * PAGE_SIZE_4K), pte4k(0, i * PAGE_SIZE_4K));
+        }
+        let r = VaRange::from_len(VirtAddr(PAGE_SIZE_4K), 2 * PAGE_SIZE_4K);
+        let mut seen = Vec::new();
+        pt.for_each_mapped(r, |va, _, _| seen.push(va.0 / PAGE_SIZE_4K));
+        assert_eq!(seen, vec![1, 2]);
+    }
+
+    #[test]
+    fn vma_lookup() {
+        let mut pt = PageTable::new();
+        pt.mmap("a", VaRange::from_len(VirtAddr(0), PAGE_SIZE_2M), true);
+        pt.mmap("b", VaRange::from_len(VirtAddr(16 * PAGE_SIZE_2M), PAGE_SIZE_2M), false);
+        assert_eq!(pt.vma_of(VirtAddr(100)).unwrap().name, "a");
+        assert_eq!(pt.vma_of(VirtAddr(16 * PAGE_SIZE_2M + 5)).unwrap().name, "b");
+        assert!(pt.vma_of(VirtAddr(8 * PAGE_SIZE_2M)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps")]
+    fn vma_overlap_rejected() {
+        let mut pt = PageTable::new();
+        pt.mmap("a", VaRange::from_len(VirtAddr(0), PAGE_SIZE_2M), true);
+        pt.mmap("b", VaRange::from_len(VirtAddr(PAGE_SIZE_4K), PAGE_SIZE_2M), true);
+    }
+
+    #[test]
+    fn split_huge_preserves_frames_and_flags() {
+        let mut pt = PageTable::new();
+        let base = VirtAddr(0);
+        let mut huge = Pte::map(PhysAddr::new(3, 0x20_0000), true);
+        huge.set(crate::pte::PTE_ACCESSED);
+        pt.map_2m(base, huge);
+        assert!(pt.split_huge(VirtAddr(12345)));
+        let t = pt.translate(VirtAddr(5 * PAGE_SIZE_4K)).unwrap();
+        assert_eq!(t.size, FrameSize::Base4K);
+        assert_eq!(t.pte.frame(), PhysAddr::new(3, 0x20_0000 + 5 * PAGE_SIZE_4K));
+        assert!(t.pte.accessed(), "A bit carried to subpages");
+        assert_eq!(pt.mapped_bytes(), PAGE_SIZE_2M);
+    }
+
+    #[test]
+    fn valid_pde_bases_sorted() {
+        let mut pt = PageTable::new();
+        pt.map_2m(VirtAddr(6 * PAGE_SIZE_2M), Pte::map(PhysAddr::new(0, 0), true));
+        pt.map_4k(VirtAddr(PAGE_SIZE_2M), pte4k(0, 0x1000));
+        let bases = pt.valid_pde_bases();
+        assert_eq!(bases, vec![VirtAddr(PAGE_SIZE_2M), VirtAddr(6 * PAGE_SIZE_2M)]);
+    }
+}

@@ -1,0 +1,205 @@
+//! Page-table-entry bit layout.
+//!
+//! The layout mirrors x86-64 closely enough for the mechanisms the paper
+//! relies on: a hardware-set ACCESSED bit, a hardware-set DIRTY bit, the PS
+//! bit marking a huge mapping, and software-available bits. Bit 11 is the
+//! reserved bit MTM uses for write tracking during asynchronous migration
+//! (Sec. 7.2/8), and two high software bits model NUMA hint-fault poisoning
+//! and `mprotect`-style protection (used by Thermostat's profiler).
+
+use crate::addr::PhysAddr;
+
+/// Bit 0: the mapping is valid.
+pub const PTE_PRESENT: u64 = 1 << 0;
+/// Bit 5: set by the MMU on any access (the profiling signal).
+pub const PTE_ACCESSED: u64 = 1 << 5;
+/// Bit 6: set by the MMU on a write.
+pub const PTE_DIRTY: u64 = 1 << 6;
+/// Bit 7: page-size bit; the entry maps a 2 MB huge page.
+pub const PTE_HUGE: u64 = 1 << 7;
+/// Bit 11: reserved software bit; armed to track writes during async copy.
+pub const PTE_WRITE_TRACK: u64 = 1 << 11;
+/// Bit 61: protection removed (`PROT_NONE`); any access faults.
+pub const PTE_PROT_NONE: u64 = 1 << 61;
+/// Bit 62: NUMA hint-fault poison; the next access faults and reports the
+/// accessing CPU, as in Linux AutoNUMA.
+pub const PTE_NUMA_POISON: u64 = 1 << 62;
+
+const FRAME_SHIFT: u64 = 12;
+const FRAME_MASK: u64 = ((1 << 48) - 1) & !((1 << FRAME_SHIFT) - 1);
+
+/// A software page-table entry.
+///
+/// The frame's physical address (component + offset) is packed into bits
+/// 12..60; flag bits follow the constants above.
+#[derive(Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pte(pub u64);
+
+impl Pte {
+    /// An empty (non-present) entry.
+    pub const EMPTY: Pte = Pte(0);
+
+    /// Builds a present entry mapping `frame`, optionally as a huge page.
+    pub fn map(frame: PhysAddr, huge: bool) -> Pte {
+        // Pack component into bits 48..60 and offset (page-aligned) into
+        // bits 12..48. Offsets are page-aligned so no information is lost.
+        debug_assert_eq!(frame.offset() & 0xfff, 0, "frame offset must be page-aligned");
+        let packed = ((frame.component() as u64) << 48) | (frame.offset() & FRAME_MASK);
+        let mut flags = PTE_PRESENT;
+        if huge {
+            flags |= PTE_HUGE;
+        }
+        Pte(packed | flags)
+    }
+
+    /// The physical frame address stored in the entry.
+    #[inline]
+    pub fn frame(self) -> PhysAddr {
+        PhysAddr::new(((self.0 >> 48) & 0x1fff) as u16, self.0 & FRAME_MASK)
+    }
+
+    /// Replaces the frame while keeping all flag bits.
+    #[inline]
+    pub fn with_frame(self, frame: PhysAddr) -> Pte {
+        let flags = self.0 & !(FRAME_MASK | (0x1fff << 48));
+        let packed = ((frame.component() as u64) << 48) | (frame.offset() & FRAME_MASK);
+        Pte(packed | flags)
+    }
+
+    /// True if the entry is valid.
+    #[inline]
+    pub fn present(self) -> bool {
+        self.0 & PTE_PRESENT != 0
+    }
+
+    /// True if the MMU has recorded an access since the last clear.
+    #[inline]
+    pub fn accessed(self) -> bool {
+        self.0 & PTE_ACCESSED != 0
+    }
+
+    /// True if the MMU has recorded a write since the last clear.
+    #[inline]
+    pub fn dirty(self) -> bool {
+        self.0 & PTE_DIRTY != 0
+    }
+
+    /// True if the entry maps a 2 MB huge page.
+    #[inline]
+    pub fn huge(self) -> bool {
+        self.0 & PTE_HUGE != 0
+    }
+
+    /// True if writes to the page are being tracked for async migration.
+    #[inline]
+    pub fn write_tracked(self) -> bool {
+        self.0 & PTE_WRITE_TRACK != 0
+    }
+
+    /// True if the entry is poisoned for a NUMA hint fault.
+    #[inline]
+    pub fn numa_poisoned(self) -> bool {
+        self.0 & PTE_NUMA_POISON != 0
+    }
+
+    /// True if protection has been removed (any access faults).
+    #[inline]
+    pub fn prot_none(self) -> bool {
+        self.0 & PTE_PROT_NONE != 0
+    }
+
+    /// Sets the given flag bits.
+    #[inline]
+    pub fn set(&mut self, bits: u64) {
+        self.0 |= bits;
+    }
+
+    /// Clears the given flag bits.
+    #[inline]
+    pub fn clear(&mut self, bits: u64) {
+        self.0 &= !bits;
+    }
+
+    /// Reads and clears the ACCESSED bit, returning its prior value.
+    ///
+    /// This is the primitive behind a PTE scan: profiling repeatedly calls
+    /// it and counts how often the bit was found set.
+    #[inline]
+    pub fn take_accessed(&mut self) -> bool {
+        let was = self.accessed();
+        self.clear(PTE_ACCESSED);
+        was
+    }
+}
+
+impl std::fmt::Debug for Pte {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if !self.present() {
+            return write!(f, "Pte(empty)");
+        }
+        write!(
+            f,
+            "Pte({:?}{}{}{}{}{}{})",
+            self.frame(),
+            if self.huge() { " HUGE" } else { "" },
+            if self.accessed() { " A" } else { "" },
+            if self.dirty() { " D" } else { "" },
+            if self.write_tracked() { " WT" } else { "" },
+            if self.numa_poisoned() { " NUMA" } else { "" },
+            if self.prot_none() { " PROT_NONE" } else { "" },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrips_frame() {
+        let frame = PhysAddr::new(3, 0x1234_5000);
+        let pte = Pte::map(frame, false);
+        assert!(pte.present());
+        assert!(!pte.huge());
+        assert_eq!(pte.frame(), frame);
+    }
+
+    #[test]
+    fn huge_bit() {
+        let pte = Pte::map(PhysAddr::new(1, 0x20_0000), true);
+        assert!(pte.huge());
+        assert_eq!(pte.frame().offset(), 0x20_0000);
+    }
+
+    #[test]
+    fn accessed_take_and_clear() {
+        let mut pte = Pte::map(PhysAddr::new(0, 0), false);
+        assert!(!pte.take_accessed());
+        pte.set(PTE_ACCESSED);
+        assert!(pte.take_accessed());
+        assert!(!pte.accessed());
+    }
+
+    #[test]
+    fn flags_do_not_disturb_frame() {
+        let frame = PhysAddr::new(2, 0xabc000);
+        let mut pte = Pte::map(frame, false);
+        pte.set(PTE_ACCESSED | PTE_DIRTY | PTE_WRITE_TRACK | PTE_NUMA_POISON | PTE_PROT_NONE);
+        assert_eq!(pte.frame(), frame);
+        pte.clear(PTE_NUMA_POISON);
+        assert!(!pte.numa_poisoned());
+        assert!(pte.prot_none());
+        assert_eq!(pte.frame(), frame);
+    }
+
+    #[test]
+    fn with_frame_keeps_flags() {
+        let mut pte = Pte::map(PhysAddr::new(0, 0x1000), true);
+        pte.set(PTE_ACCESSED | PTE_DIRTY);
+        let moved = pte.with_frame(PhysAddr::new(3, 0x8000));
+        assert_eq!(moved.frame(), PhysAddr::new(3, 0x8000));
+        assert!(moved.accessed());
+        assert!(moved.dirty());
+        assert!(moved.huge());
+    }
+}

@@ -1,0 +1,454 @@
+//! Scenario driver: wires a workload, a memory manager, and a machine.
+//!
+//! The driver advances the simulation in *profiling intervals*: workload
+//! threads issue accesses until the open interval's virtual wall time
+//! reaches the configured interval length, then the interval is committed
+//! and the manager's `on_interval` hook runs (profile, decide, migrate) —
+//! the structure of every system the paper evaluates.
+
+use crate::addr::{VaRange, VirtAddr};
+use crate::counters::ComponentCounts;
+use crate::machine::{AccessKind, AccessResult, Machine, MachineStats};
+use crate::tier::ComponentId;
+
+/// The memory interface a workload sees: plain reads and writes plus access
+/// to the machine for setup (VMA registration, prefaulting).
+pub trait MemEnv {
+    /// Issues a load from `va` on thread `tid`.
+    fn read(&mut self, tid: usize, va: VirtAddr);
+    /// Issues a store to `va` on thread `tid`.
+    fn write(&mut self, tid: usize, va: VirtAddr);
+    /// Charges pure compute (think) time to `tid`.
+    fn compute(&mut self, tid: usize, ns: f64);
+    /// The underlying machine.
+    fn machine(&mut self) -> &mut Machine;
+}
+
+/// A page-management system under test (MTM or a baseline).
+pub trait MemoryManager {
+    /// Display name used in reports.
+    fn name(&self) -> String;
+
+    /// One-time initialization once VMAs exist.
+    fn init(&mut self, _m: &mut Machine) {}
+
+    /// Placement order for a faulting page: components to try, best first.
+    fn placement(&mut self, m: &Machine, tid: usize, va: VirtAddr) -> Vec<ComponentId>;
+
+    /// Periodic hook: profile, decide, and migrate. Runs after interval
+    /// `interval` has been committed to the clock.
+    fn on_interval(&mut self, m: &mut Machine, interval: u64);
+
+    /// Number of profiling points within one interval (multi-scan
+    /// profilers return their scans-per-interval; default 1).
+    fn sub_intervals(&self) -> u32 {
+        1
+    }
+
+    /// Called at each sub-interval boundary `k` in `1..=sub_intervals()`,
+    /// while the interval is still open. Multi-scan profilers perform one
+    /// PTE scan pass per call.
+    fn on_subinterval(&mut self, _m: &mut Machine, _interval: u64, _k: u32) {}
+
+    /// Cumulative bytes of pages the manager has classified as hot
+    /// (Table 3's "volume of hot pages identified").
+    fn hot_bytes_identified(&self) -> u64 {
+        0
+    }
+
+    /// Extra memory the manager's metadata consumes (Table 5).
+    fn metadata_bytes(&self) -> u64 {
+        0
+    }
+
+    /// `(merged, split, live)` region counts averaged per interval
+    /// (Table 7), if the manager forms memory regions.
+    fn region_stats(&self) -> Option<RegionStats> {
+        None
+    }
+}
+
+/// Region-formation statistics (Table 7).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RegionStats {
+    /// Profiling intervals observed.
+    pub intervals: u64,
+    /// Average regions merged per interval.
+    pub avg_merged: f64,
+    /// Average regions split per interval.
+    pub avg_split: f64,
+    /// Average live regions per interval.
+    pub avg_regions: f64,
+}
+
+/// A workload generating memory accesses (Table 2 of the paper).
+pub trait Workload {
+    /// Display name used in reports.
+    fn name(&self) -> String;
+
+    /// Registers VMAs and populates initial data (runs before measurement).
+    fn setup(&mut self, env: &mut dyn MemEnv);
+
+    /// Performs one small unit of work on thread `tid` (e.g. one GUPS
+    /// update or one transaction step), issuing its accesses.
+    fn tick(&mut self, env: &mut dyn MemEnv, tid: usize);
+
+    /// Total memory footprint in bytes (simulated scale).
+    fn footprint(&self) -> u64;
+
+    /// Ground-truth hot virtual ranges, when the workload knows them
+    /// (GUPS does; used for profiling recall/accuracy in Fig. 1).
+    fn true_hot_ranges(&self) -> Vec<VaRange> {
+        Vec::new()
+    }
+
+    /// Notifies the workload that a profiling interval ended, letting it
+    /// shift phases (e.g. GUPS hot-set rotation).
+    fn end_of_interval(&mut self, _interval: u64) {}
+
+    /// Application-level progress counter (operations completed).
+    fn ops_completed(&self) -> u64 {
+        0
+    }
+}
+
+/// A [`MemEnv`] over a machine and a manager: faults are resolved through
+/// the manager's placement policy.
+pub struct SimEnv<'a> {
+    /// The machine accesses execute on.
+    pub machine: &'a mut Machine,
+    /// The manager resolving placement faults.
+    pub manager: &'a mut dyn MemoryManager,
+}
+
+impl<'a> SimEnv<'a> {
+    #[inline]
+    fn do_access(&mut self, tid: usize, va: VirtAddr, kind: AccessKind) {
+        if self.machine.access(tid, va, kind) == AccessResult::Ok {
+            return;
+        }
+        let order = self.manager.placement(self.machine, tid, va);
+        self.machine
+            .alloc_and_map(tid, va, &order)
+            .unwrap_or_else(|e| panic!("placement failed for {va:?}: {e}"));
+        let r = self.machine.access(tid, va, kind);
+        debug_assert_eq!(r, AccessResult::Ok, "access succeeds after mapping");
+    }
+}
+
+impl<'a> MemEnv for SimEnv<'a> {
+    #[inline]
+    fn read(&mut self, tid: usize, va: VirtAddr) {
+        self.do_access(tid, va, AccessKind::Read);
+    }
+
+    #[inline]
+    fn write(&mut self, tid: usize, va: VirtAddr) {
+        self.do_access(tid, va, AccessKind::Write);
+    }
+
+    #[inline]
+    fn compute(&mut self, tid: usize, ns: f64) {
+        self.machine.compute(tid, ns);
+    }
+
+    fn machine(&mut self) -> &mut Machine {
+        self.machine
+    }
+}
+
+/// Everything a finished scenario reports; the harness builds every paper
+/// table and figure from these fields.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Manager display name.
+    pub manager: String,
+    /// Workload display name.
+    pub workload: String,
+    /// Committed time breakdown.
+    pub breakdown: crate::clock::TimeBreakdown,
+    /// Total virtual runtime in nanoseconds.
+    pub total_ns: f64,
+    /// Per-component application access counts.
+    pub component_counts: Vec<ComponentCounts>,
+    /// Per-interval per-component access counts.
+    pub window_counts: Vec<Vec<ComponentCounts>>,
+    /// Per-interval wall time.
+    pub interval_ns: Vec<f64>,
+    /// Cumulative workload ops after each interval (including the
+    /// manager's interval work).
+    pub ops_trace: Vec<u64>,
+    /// Committed time breakdown after each interval.
+    pub breakdown_trace: Vec<crate::clock::TimeBreakdown>,
+    /// Bytes resident per component at the end.
+    pub residency: Vec<u64>,
+    /// Machine-level statistics.
+    pub machine: MachineStats,
+    /// Manager-reported hot-page volume (Table 3).
+    pub hot_bytes_identified: u64,
+    /// Manager metadata footprint (Table 5).
+    pub metadata_bytes: u64,
+    /// Region statistics (Table 7), if any.
+    pub region_stats: Option<RegionStats>,
+    /// Workload operations completed.
+    pub ops_completed: u64,
+    /// Workload footprint in bytes.
+    pub footprint: u64,
+}
+
+impl RunReport {
+    /// Total accesses that hit the component at tier rank `rank` from
+    /// `node`'s view.
+    pub fn accesses_at_rank(&self, topo: &crate::tier::Topology, node: u16, rank: usize) -> u64 {
+        let c = topo.component_at_rank(node, rank);
+        self.component_counts[c as usize].total()
+    }
+
+    /// Runtime in virtual seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.total_ns / 1e9
+    }
+
+    /// Throughput in operations per virtual second.
+    pub fn ops_per_second(&self) -> f64 {
+        if self.total_ns <= 0.0 {
+            return 0.0;
+        }
+        self.ops_completed as f64 / (self.total_ns / 1e9)
+    }
+
+    /// Virtual nanoseconds per completed operation — the execution-time
+    /// metric for a fixed amount of work. Runs last a fixed number of
+    /// profiling intervals, so comparing managers requires normalizing by
+    /// the work they completed.
+    pub fn ns_per_op(&self) -> f64 {
+        if self.ops_completed == 0 {
+            return f64::INFINITY;
+        }
+        self.total_ns / self.ops_completed as f64
+    }
+
+    /// Time this run would need for `ops` operations, extrapolated.
+    pub fn ns_for_ops(&self, ops: u64) -> f64 {
+        self.ns_per_op() * ops as f64
+    }
+
+    /// Steady-state window: the time breakdown and work completed in the
+    /// last quarter of the run, after migration-driven placement has
+    /// (largely) converged — the regime the paper's hours-long runs spend
+    /// most of their time in.
+    pub fn steady(&self) -> (crate::clock::TimeBreakdown, u64) {
+        let n = self.breakdown_trace.len();
+        if n < 4 {
+            return (self.breakdown, self.ops_completed);
+        }
+        let w = 3 * n / 4;
+        let b0 = self.breakdown_trace[w - 1];
+        let b1 = self.breakdown_trace[n - 1];
+        let delta = crate::clock::TimeBreakdown {
+            app_ns: b1.app_ns - b0.app_ns,
+            profiling_ns: b1.profiling_ns - b0.profiling_ns,
+            migration_ns: b1.migration_ns - b0.migration_ns,
+        };
+        let ops = self.ops_trace[n - 1].saturating_sub(self.ops_trace[w - 1]);
+        (delta, ops)
+    }
+
+    /// Nanoseconds per operation over the steady-state window.
+    pub fn ns_per_op_steady(&self) -> f64 {
+        let (b, ops) = self.steady();
+        if ops == 0 {
+            return f64::INFINITY;
+        }
+        b.total_ns() / ops as f64
+    }
+
+    /// Steady-state throughput (ops per virtual second).
+    pub fn ops_per_second_steady(&self) -> f64 {
+        let (b, ops) = self.steady();
+        if b.total_ns() <= 0.0 {
+            return 0.0;
+        }
+        ops as f64 / (b.total_ns() / 1e9)
+    }
+}
+
+/// Drives one profiling interval: generates accesses until the interval's
+/// virtual wall time elapses (invoking the manager's sub-interval hooks on
+/// the way), commits the interval and returns its wall time. The caller
+/// is responsible for invoking `manager.on_interval` afterwards — which
+/// lets experiment harnesses probe manager state between intervals.
+pub fn drive_interval(
+    machine: &mut Machine,
+    manager: &mut dyn MemoryManager,
+    workload: &mut dyn Workload,
+    interval: u64,
+) -> f64 {
+    let interval_len = machine.cfg.interval_ns;
+    let threads = machine.cfg.threads;
+    let subs = manager.sub_intervals().max(1);
+    for k in 1..=subs {
+        let target = interval_len * k as f64 / subs as f64;
+        while machine.open_interval_ns() < target {
+            let mut env = SimEnv { machine, manager };
+            for _ in 0..8 {
+                for tid in 0..threads {
+                    workload.tick(&mut env, tid);
+                }
+            }
+        }
+        manager.on_subinterval(machine, interval, k);
+    }
+    machine.commit_interval()
+}
+
+/// Runs `workload` under `manager` for `intervals` profiling intervals and
+/// returns the report. Setup time is excluded from measurement.
+pub fn run_scenario(
+    machine: &mut Machine,
+    manager: &mut dyn MemoryManager,
+    workload: &mut dyn Workload,
+    intervals: u64,
+) -> RunReport {
+    {
+        let mut env = SimEnv { machine, manager };
+        workload.setup(&mut env);
+    }
+    manager.init(machine);
+    machine.reset_measurement();
+    machine.counters_mut().reset_window();
+
+    let mut window_counts = Vec::with_capacity(intervals as usize);
+    let mut interval_ns = Vec::with_capacity(intervals as usize);
+    let mut ops_trace = Vec::with_capacity(intervals as usize);
+    let mut breakdown_trace = Vec::with_capacity(intervals as usize);
+
+    for ivl in 0..intervals {
+        let wall = drive_interval(machine, manager, workload, ivl);
+        interval_ns.push(wall);
+        let comps = machine.topology().num_components();
+        window_counts.push((0..comps as u16).map(|c| machine.counters().window(c)).collect());
+        machine.counters_mut().reset_window();
+        manager.on_interval(machine, ivl);
+        workload.end_of_interval(ivl);
+        ops_trace.push(workload.ops_completed());
+        breakdown_trace.push(machine.breakdown());
+    }
+
+    let breakdown = machine.breakdown();
+    RunReport {
+        manager: manager.name(),
+        workload: workload.name(),
+        breakdown,
+        total_ns: breakdown.total_ns(),
+        component_counts: machine.counters().all(),
+        window_counts,
+        interval_ns,
+        ops_trace,
+        breakdown_trace,
+        residency: machine.residency(),
+        machine: machine.stats(),
+        hot_bytes_identified: manager.hot_bytes_identified(),
+        metadata_bytes: manager.metadata_bytes(),
+        region_stats: manager.region_stats(),
+        ops_completed: workload.ops_completed(),
+        footprint: workload.footprint(),
+    }
+}
+
+/// A trivial manager placing pages on the local fastest component with
+/// space, never migrating — first-touch NUMA, also used in substrate tests.
+pub struct FirstTouchPolicy;
+
+impl MemoryManager for FirstTouchPolicy {
+    fn name(&self) -> String {
+        "first-touch".into()
+    }
+
+    fn placement(&mut self, m: &Machine, tid: usize, _va: VirtAddr) -> Vec<ComponentId> {
+        m.topology().view(m.node_of(tid)).to_vec()
+    }
+
+    fn on_interval(&mut self, _m: &mut Machine, _interval: u64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::PAGE_SIZE_2M;
+    use crate::machine::MachineConfig;
+    use crate::tier::tiny_two_tier;
+
+    /// A workload striding over its footprint.
+    struct Strider {
+        range: VaRange,
+        cursor: u64,
+        ops: u64,
+    }
+
+    impl Workload for Strider {
+        fn name(&self) -> String {
+            "strider".into()
+        }
+
+        fn setup(&mut self, env: &mut dyn MemEnv) {
+            let range = self.range;
+            env.machine().mmap("stride", range, false);
+        }
+
+        fn tick(&mut self, env: &mut dyn MemEnv, tid: usize) {
+            let va = VirtAddr(self.range.start.0 + self.cursor % self.range.len());
+            self.cursor += 4096;
+            self.ops += 1;
+            env.read(tid, va);
+        }
+
+        fn footprint(&self) -> u64 {
+            self.range.len()
+        }
+
+        fn ops_completed(&self) -> u64 {
+            self.ops
+        }
+    }
+
+    #[test]
+    fn scenario_runs_and_reports() {
+        let topo = tiny_two_tier(2 * PAGE_SIZE_2M, 8 * PAGE_SIZE_2M);
+        let mut cfg = MachineConfig::new(topo, 2);
+        cfg.interval_ns = 50_000.0;
+        let mut machine = Machine::new(cfg);
+        let mut wl = Strider { range: VaRange::from_len(VirtAddr(0), 4 * PAGE_SIZE_2M), cursor: 0, ops: 0 };
+        let mut mgr = FirstTouchPolicy;
+        let report = run_scenario(&mut machine, &mut mgr, &mut wl, 4);
+        assert_eq!(report.interval_ns.len(), 4);
+        assert!(report.total_ns > 0.0);
+        assert!(report.ops_completed > 0);
+        assert_eq!(report.window_counts.len(), 4);
+        // First-touch fills the fast component first; nothing spills until
+        // it is full.
+        assert!(report.residency[0] > 0);
+        assert!(report.residency[0] <= 2 * PAGE_SIZE_2M);
+        if report.residency[1] > 0 {
+            assert_eq!(report.residency[0], 2 * PAGE_SIZE_2M, "spill only after fast is full");
+        }
+        // Each interval's wall time is at least the configured length.
+        for &w in &report.interval_ns {
+            assert!(w >= 50_000.0);
+        }
+    }
+
+    #[test]
+    fn report_rank_accessor() {
+        let topo = tiny_two_tier(2 * PAGE_SIZE_2M, 8 * PAGE_SIZE_2M);
+        let mut cfg = MachineConfig::new(topo.clone(), 1);
+        cfg.interval_ns = 20_000.0;
+        let mut machine = Machine::new(cfg);
+        let mut wl = Strider { range: VaRange::from_len(VirtAddr(0), PAGE_SIZE_2M), cursor: 0, ops: 0 };
+        let mut mgr = FirstTouchPolicy;
+        let report = run_scenario(&mut machine, &mut mgr, &mut wl, 2);
+        // Footprint fits in fast; all accesses land at rank 0.
+        assert_eq!(report.accesses_at_rank(&topo, 0, 0), report.component_counts[0].total());
+        assert_eq!(report.accesses_at_rank(&topo, 0, 1), 0);
+    }
+}

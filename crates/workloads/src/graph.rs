@@ -1,0 +1,183 @@
+//! Synthetic power-law graph generation (R-MAT) and CSR storage.
+//!
+//! The paper's BFS and SSSP run on a 0.9 B-node / 14 B-edge graph (Table
+//! 2). We generate R-MAT graphs with the same average degree and traverse
+//! them for real, so the simulated access stream has genuine graph-
+//! traversal structure (hub pages hot, neighbor lists streamed). Generated
+//! graphs are cached per-process because several experiments traverse the
+//! same graph under different managers.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::rng::SplitMix64;
+
+/// A graph in compressed-sparse-row form.
+#[derive(Debug)]
+pub struct Csr {
+    /// Number of vertices.
+    pub vertices: u32,
+    /// `offsets[v]..offsets[v+1]` indexes `neighbors` for vertex `v`.
+    pub offsets: Vec<u64>,
+    /// Concatenated adjacency lists.
+    pub neighbors: Vec<u32>,
+}
+
+impl Csr {
+    /// Number of directed edges.
+    pub fn edges(&self) -> u64 {
+        self.neighbors.len() as u64
+    }
+
+    /// The adjacency list of `v`.
+    pub fn neighbors_of(&self, v: u32) -> &[u32] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.neighbors[lo..hi]
+    }
+
+    /// Out-degree of `v`.
+    pub fn degree(&self, v: u32) -> u64 {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Deterministic pseudo-weight of the edge at position `pos` in
+    /// `neighbors`, in `[1, 256]` (SSSP edge weights without storing them).
+    pub fn weight_at(pos: u64) -> u64 {
+        let mut x = pos.wrapping_mul(0x9e3779b97f4a7c15);
+        x ^= x >> 33;
+        (x % 256) + 1
+    }
+}
+
+/// R-MAT parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RmatParams {
+    /// Number of vertices (rounded up to a power of two internally).
+    pub vertices: u32,
+    /// Number of directed edges to generate.
+    pub edges: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Generates an R-MAT graph with the canonical (0.57, 0.19, 0.19, 0.05)
+/// partition probabilities, producing a skewed (power-law-ish) degree
+/// distribution.
+pub fn rmat(params: RmatParams) -> Csr {
+    let n = params.vertices.max(2);
+    let levels = 32 - (n - 1).leading_zeros();
+    let side = 1u32 << levels;
+    let mut rng = SplitMix64::new(params.seed);
+    let mut degree = vec![0u64; n as usize + 1];
+    let mut edge_list: Vec<(u32, u32)> = Vec::with_capacity(params.edges as usize);
+    const A: f64 = 0.57;
+    const B: f64 = 0.19;
+    const C: f64 = 0.19;
+    for _ in 0..params.edges {
+        let (mut src, mut dst) = (0u32, 0u32);
+        for level in (0..levels).rev() {
+            let r = rng.unit_f64();
+            let bit = 1u32 << level;
+            if r < A {
+                // Top-left quadrant: no bits set.
+            } else if r < A + B {
+                dst |= bit;
+            } else if r < A + B + C {
+                src |= bit;
+            } else {
+                src |= bit;
+                dst |= bit;
+            }
+        }
+        // Fold the power-of-two grid onto [0, n).
+        let src = (src as u64 * n as u64 / side as u64) as u32;
+        let dst = (dst as u64 * n as u64 / side as u64) as u32;
+        degree[src as usize + 1] += 1;
+        edge_list.push((src, dst));
+    }
+    // Prefix sum, then scatter into CSR without sorting.
+    let mut offsets = degree;
+    for i in 1..offsets.len() {
+        offsets[i] += offsets[i - 1];
+    }
+    let mut cursor = offsets.clone();
+    let mut neighbors = vec![0u32; params.edges as usize];
+    for (src, dst) in edge_list {
+        let at = cursor[src as usize];
+        neighbors[at as usize] = dst;
+        cursor[src as usize] += 1;
+    }
+    Csr { vertices: n, offsets, neighbors }
+}
+
+/// Returns a process-wide cached graph for the given parameters.
+pub fn cached_rmat(params: RmatParams) -> Arc<Csr> {
+    static CACHE: OnceLock<Mutex<HashMap<(u32, u64, u64), Arc<Csr>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let key = (params.vertices, params.edges, params.seed);
+    let mut guard = cache.lock().expect("graph cache poisoned");
+    guard.entry(key).or_insert_with(|| Arc::new(rmat(params))).clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Csr {
+        rmat(RmatParams { vertices: 1024, edges: 16_384, seed: 42 })
+    }
+
+    #[test]
+    fn csr_is_well_formed() {
+        let g = small();
+        assert_eq!(g.vertices, 1024);
+        assert_eq!(g.edges(), 16_384);
+        assert_eq!(g.offsets.len(), 1025);
+        assert_eq!(*g.offsets.last().unwrap(), 16_384);
+        // Offsets are monotone.
+        for w in g.offsets.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        // All neighbors in range.
+        assert!(g.neighbors.iter().all(|&v| v < 1024));
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let g = small();
+        let mut degrees: Vec<u64> = (0..g.vertices).map(|v| g.degree(v)).collect();
+        degrees.sort_unstable_by(|a, b| b.cmp(a));
+        let total: u64 = degrees.iter().sum();
+        let top: u64 = degrees.iter().take(g.vertices as usize / 20).sum();
+        assert!(
+            top as f64 > 0.25 * total as f64,
+            "top 5 % of vertices hold a large edge share ({top}/{total})"
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.offsets, b.offsets);
+        assert_eq!(a.neighbors, b.neighbors);
+    }
+
+    #[test]
+    fn cache_returns_same_instance() {
+        let p = RmatParams { vertices: 256, edges: 1024, seed: 1 };
+        let a = cached_rmat(p);
+        let b = cached_rmat(p);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn weights_are_bounded_and_stable() {
+        for pos in 0..1000u64 {
+            let w = Csr::weight_at(pos);
+            assert!((1..=256).contains(&w));
+            assert_eq!(w, Csr::weight_at(pos));
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! TPC-C-style in-memory database workload (the VoltDB surrogate).
+//!
+//! Reproduces the access skeleton of VoltDB running TPC-C with thousands of
+//! warehouses (Table 2: 300 GB, 1:1 R/W): tiny, very hot warehouse and
+//! district rows; a shared hot item table; large customer and stock tables
+//! with NURand-style skew; and an order log receiving sequential appends
+//! with reads concentrated near the head. Each thread has a home warehouse
+//! it mostly serves (TPC-C terminals), with a fraction of remote-warehouse
+//! transactions.
+
+use tiersim::addr::{VaRange, VirtAddr};
+use tiersim::sim::{MemEnv, Workload};
+
+use crate::layout::{elem_addr, Layout};
+use crate::rng::{SplitMix64, Zipfian};
+
+const WAREHOUSE_ROW: u64 = 128;
+const DISTRICT_ROW: u64 = 128;
+const DISTRICTS_PER_WH: u64 = 10;
+const CUSTOMER_ROW: u64 = 1024;
+const CUSTOMERS_PER_DISTRICT: u64 = 3_000;
+const STOCK_ROW: u64 = 320;
+const ITEMS: u64 = 100_000;
+const ITEM_ROW: u64 = 80;
+const STOCK_PER_WH: u64 = ITEMS;
+const ORDER_LINE: u64 = 64;
+
+/// TPC-C configuration.
+#[derive(Clone, Debug)]
+pub struct TpccConfig {
+    /// Number of warehouses.
+    pub warehouses: u64,
+    /// Number of application threads.
+    pub threads: usize,
+    /// Fraction of transactions against a non-home warehouse.
+    pub remote_frac: f64,
+    /// Compute time per transaction, ns (SQL execution, logging, locking
+    /// — VoltDB runs tens of thousands of TPC-C transactions per second).
+    pub cpu_ns_per_op: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl TpccConfig {
+    /// The paper's configuration scaled by `scale`: 5 K warehouses
+    /// (~300 GB) at scale 1.
+    pub fn paper(scale: u64, threads: usize) -> TpccConfig {
+        TpccConfig {
+            warehouses: (5_000 / scale).max(2),
+            threads,
+            remote_frac: 0.1,
+            cpu_ns_per_op: 25_000.0,
+            seed: 0x7C0C,
+        }
+    }
+}
+
+/// The TPC-C workload.
+pub struct Tpcc {
+    cfg: TpccConfig,
+    items: VaRange,
+    warehouse: VaRange,
+    district: VaRange,
+    customer: VaRange,
+    stock: VaRange,
+    orderlog: VaRange,
+    order_head: u64,
+    cust_skew: Zipfian,
+    stock_skew: Zipfian,
+    item_skew: Zipfian,
+    rngs: Vec<SplitMix64>,
+    ops: u64,
+}
+
+impl Tpcc {
+    /// Creates a TPC-C instance (VMAs laid out in [`Workload::setup`]).
+    pub fn new(cfg: TpccConfig) -> Tpcc {
+        let rngs = (0..cfg.threads.max(1))
+            .map(|t| SplitMix64::new(cfg.seed ^ ((t as u64) << 24)))
+            .collect();
+        Tpcc {
+            cust_skew: Zipfian::new(CUSTOMERS_PER_DISTRICT, 0.6),
+            stock_skew: Zipfian::new(STOCK_PER_WH, 0.6),
+            item_skew: Zipfian::new(ITEMS, 0.8),
+            cfg,
+            items: VaRange::from_len(VirtAddr(0), 0),
+            warehouse: VaRange::from_len(VirtAddr(0), 0),
+            district: VaRange::from_len(VirtAddr(0), 0),
+            customer: VaRange::from_len(VirtAddr(0), 0),
+            stock: VaRange::from_len(VirtAddr(0), 0),
+            orderlog: VaRange::from_len(VirtAddr(0), 0),
+            order_head: 0,
+            rngs,
+            ops: 0,
+        }
+    }
+
+    fn pick_warehouse(&mut self, tid: usize) -> u64 {
+        let w = self.cfg.warehouses;
+        let home = (tid as u64) % w;
+        let rng = &mut self.rngs[tid];
+        if rng.unit_f64() < self.cfg.remote_frac {
+            rng.below(w)
+        } else {
+            home
+        }
+    }
+
+    fn customer_addr(&self, wh: u64, district: u64, cust: u64) -> VirtAddr {
+        let idx = (wh * DISTRICTS_PER_WH + district) * CUSTOMERS_PER_DISTRICT + cust;
+        elem_addr(self.customer, idx, CUSTOMER_ROW)
+    }
+
+    fn stock_addr(&self, wh: u64, item: u64) -> VirtAddr {
+        elem_addr(self.stock, wh * STOCK_PER_WH + item, STOCK_ROW)
+    }
+
+    fn new_order(&mut self, env: &mut dyn MemEnv, tid: usize) {
+        let wh = self.pick_warehouse(tid);
+        let district = self.rngs[tid].below(DISTRICTS_PER_WH);
+        // Warehouse row read; district row read + D_NEXT_O_ID update.
+        env.read(tid, elem_addr(self.warehouse, wh, WAREHOUSE_ROW));
+        let d = elem_addr(self.district, wh * DISTRICTS_PER_WH + district, DISTRICT_ROW);
+        env.read(tid, d);
+        env.write(tid, d);
+        // Customer lookup (NURand-style skew).
+        let cust = self.cust_skew.sample(&mut self.rngs[tid]);
+        env.read(tid, self.customer_addr(wh, district, cust));
+        // Order lines: ten items.
+        for _ in 0..10 {
+            let item = self.item_skew.sample(&mut self.rngs[tid]);
+            env.read(tid, elem_addr(self.items, item, ITEM_ROW));
+            let sk_item = self.stock_skew.sample(&mut self.rngs[tid]);
+            let s = self.stock_addr(wh, sk_item);
+            env.read(tid, s);
+            env.write(tid, s);
+            // Append the order line to the log (ring).
+            let slot = self.order_head % (self.orderlog.len() / ORDER_LINE);
+            env.write(tid, elem_addr(self.orderlog, slot, ORDER_LINE));
+            self.order_head += 1;
+        }
+    }
+
+    fn payment(&mut self, env: &mut dyn MemEnv, tid: usize) {
+        let wh = self.pick_warehouse(tid);
+        let district = self.rngs[tid].below(DISTRICTS_PER_WH);
+        let w = elem_addr(self.warehouse, wh, WAREHOUSE_ROW);
+        env.read(tid, w);
+        env.write(tid, w);
+        let d = elem_addr(self.district, wh * DISTRICTS_PER_WH + district, DISTRICT_ROW);
+        env.read(tid, d);
+        env.write(tid, d);
+        let cust = self.cust_skew.sample(&mut self.rngs[tid]);
+        let c = self.customer_addr(wh, district, cust);
+        env.read(tid, c);
+        env.write(tid, c);
+    }
+
+    fn order_status(&mut self, env: &mut dyn MemEnv, tid: usize) {
+        // Read a handful of recent order lines near the log head.
+        let slots = self.orderlog.len() / ORDER_LINE;
+        let rng = &mut self.rngs[tid];
+        let back = rng.below(256.min(slots));
+        let base = (self.order_head + slots - back) % slots;
+        for k in 0..5 {
+            env.read(tid, elem_addr(self.orderlog, (base + k) % slots, ORDER_LINE));
+        }
+    }
+}
+
+impl Workload for Tpcc {
+    fn name(&self) -> String {
+        "VoltDB".into()
+    }
+
+    fn setup(&mut self, env: &mut dyn MemEnv) {
+        let w = self.cfg.warehouses;
+        let mut layout = Layout::new();
+        self.items = layout.add(env, "tpcc.item", ITEMS * ITEM_ROW, true);
+        self.warehouse = layout.add(env, "tpcc.warehouse", w * WAREHOUSE_ROW, true);
+        self.district = layout.add(env, "tpcc.district", w * DISTRICTS_PER_WH * DISTRICT_ROW, true);
+        self.customer = layout.add(
+            env,
+            "tpcc.customer",
+            w * DISTRICTS_PER_WH * CUSTOMERS_PER_DISTRICT * CUSTOMER_ROW,
+            true,
+        );
+        self.stock = layout.add(env, "tpcc.stock", w * STOCK_PER_WH * STOCK_ROW, true);
+        let log_bytes = (self.stock.len() / 8).max(ORDER_LINE * 1024);
+        self.orderlog = layout.add(env, "tpcc.orderlog", log_bytes, true);
+        let threads = self.cfg.threads.max(1);
+        crate::layout::populate_interleaved(env, &[self.items, self.warehouse, self.district, self.customer, self.stock, self.orderlog], threads);
+    }
+
+    fn tick(&mut self, env: &mut dyn MemEnv, tid: usize) {
+        env.compute(tid, self.cfg.cpu_ns_per_op);
+        let dice = self.rngs[tid].unit_f64();
+        if dice < 0.45 {
+            self.new_order(env, tid);
+        } else if dice < 0.88 {
+            self.payment(env, tid);
+        } else {
+            self.order_status(env, tid);
+        }
+        self.ops += 1;
+    }
+
+    fn footprint(&self) -> u64 {
+        self.items.len()
+            + self.warehouse.len()
+            + self.district.len()
+            + self.customer.len()
+            + self.stock.len()
+            + self.orderlog.len()
+    }
+
+    fn true_hot_ranges(&self) -> Vec<VaRange> {
+        vec![self.items, self.warehouse, self.district]
+    }
+
+    fn ops_completed(&self) -> u64 {
+        self.ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiersim::addr::PAGE_SIZE_2M;
+    use tiersim::machine::{Machine, MachineConfig};
+    use tiersim::sim::{FirstTouchPolicy, SimEnv};
+    use tiersim::tier::tiny_two_tier;
+
+    fn tpcc() -> (Tpcc, Machine) {
+        let cfg =
+            TpccConfig { warehouses: 2, threads: 2, remote_frac: 0.1, cpu_ns_per_op: 0.0, seed: 3 };
+        let mut t = Tpcc::new(cfg);
+        let mut m = Machine::new(MachineConfig::new(
+            tiny_two_tier(128 * PAGE_SIZE_2M, 128 * PAGE_SIZE_2M),
+            2,
+        ));
+        {
+            let mut mgr = FirstTouchPolicy;
+            let mut env = SimEnv { machine: &mut m, manager: &mut mgr };
+            t.setup(&mut env);
+        }
+        (t, m)
+    }
+
+    #[test]
+    fn setup_sizes_tables() {
+        let (t, m) = tpcc();
+        // Stock dominates: 2 warehouses x 100K x 320 B = 64 MB.
+        assert!(t.footprint() > 64 << 20);
+        assert_eq!(m.page_table().mapped_bytes(), t.footprint());
+    }
+
+    #[test]
+    fn transactions_mix_reads_and_writes() {
+        let (mut t, mut m) = tpcc();
+        let mut mgr = FirstTouchPolicy;
+        let mut env = SimEnv { machine: &mut m, manager: &mut mgr };
+        for i in 0..2_000 {
+            t.tick(&mut env, i % 2);
+        }
+        assert_eq!(t.ops_completed(), 2_000);
+        let counts = env.machine().counters().all();
+        let loads: u64 = counts.iter().map(|c| c.loads).sum();
+        let stores: u64 = counts.iter().map(|c| c.stores).sum();
+        // Roughly 1:1 R/W as in Table 2 (setup writes excluded would make
+        // this tighter; the mix keeps stores within 2x of loads).
+        assert!(stores > 0 && loads > 0);
+        let ratio = loads as f64 / stores as f64;
+        assert!((0.4..4.0).contains(&ratio), "R/W ratio {ratio}");
+    }
+
+    #[test]
+    fn order_log_wraps() {
+        let (mut t, mut m) = tpcc();
+        let mut mgr = FirstTouchPolicy;
+        let mut env = SimEnv { machine: &mut m, manager: &mut mgr };
+        let slots = t.orderlog.len() / ORDER_LINE;
+        for i in 0..(slots / 5) as usize {
+            t.new_order(&mut env, i % 2);
+        }
+        assert!(t.order_head > slots, "head advanced past one lap");
+    }
+
+    #[test]
+    fn hot_ranges_are_small_tables() {
+        let (t, _m) = tpcc();
+        let hot = t.true_hot_ranges();
+        let hot_bytes: u64 = hot.iter().map(|r| r.len()).sum();
+        assert!(hot_bytes * 4 < t.footprint(), "hot set is a small fraction");
+    }
+}

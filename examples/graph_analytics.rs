@@ -1,0 +1,50 @@
+//! Graph analytics on tiered memory: BFS over an R-MAT graph.
+//!
+//! Demonstrates the needle-in-a-haystack profiling problem the paper's
+//! counter-assisted scan solves (Sec. 5.5): the hot visited/offsets
+//! arrays are a few dozen MB inside over a gigabyte of streamed adjacency
+//! data. Compares MTM with and without PEBS assistance.
+//!
+//! ```sh
+//! cargo run --release --example graph_analytics
+//! ```
+
+use mtm::{MtmConfig, MtmManager};
+use mtm_workloads::{Bfs, BfsConfig};
+use tiersim::addr::fmt_bytes;
+use tiersim::machine::{Machine, MachineConfig};
+use tiersim::sim::run_scenario;
+use tiersim::tier::optane_four_tier;
+
+fn run(pebs_assist: bool) -> (String, f64, u64) {
+    let scale = 1 << 11;
+    let threads = 4;
+    let topology = optane_four_tier(scale);
+    let mut mc = MachineConfig::new(topology.clone(), threads);
+    mc.interval_ns = 2.0e6;
+    let mut machine = Machine::new(mc);
+    let mut cfg = MtmConfig::default().with_paper_promote_budget(scale);
+    cfg.pebs_assist = pebs_assist;
+    let mut manager = MtmManager::new(cfg, topology.nodes as usize);
+    let mut workload = Bfs::new(BfsConfig::paper(scale, threads));
+    let report = run_scenario(&mut machine, &mut manager, &mut workload, 40);
+    // Bytes resident in the two DRAM components at the end.
+    let dram: u64 = topology
+        .dram_components()
+        .into_iter()
+        .map(|c| report.residency[c as usize])
+        .sum();
+    (report.manager.clone(), report.ns_per_op_steady(), dram)
+}
+
+fn main() {
+    println!("BFS over an R-MAT graph (paper Table 2: 0.9B nodes / 14B edges, scaled)\n");
+    let (name_on, t_on, dram_on) = run(true);
+    let (name_off, t_off, dram_off) = run(false);
+    println!("{:<16} {:>20} {:>16}", "system", "steady ns/vertex", "DRAM resident");
+    println!("{:<16} {:>20.0} {:>16}", name_on, t_on, fmt_bytes(dram_on));
+    println!("{:<16} {:>20.0} {:>16}", name_off, t_off, fmt_bytes(dram_off));
+    println!("\nWith counter assistance MTM zooms onto the hot visited/offsets");
+    println!("arrays immediately; without it, random sampling must stumble on");
+    println!("them inside {} of cold adjacency data.", "~1GB");
+}

@@ -1,0 +1,7 @@
+//! Umbrella crate re-exporting the MTM reproduction workspace.
+
+pub use mtm;
+pub use mtm_baselines as baselines;
+pub use mtm_harness as harness;
+pub use mtm_workloads as workloads;
+pub use tiersim;
