@@ -1,33 +1,21 @@
 //! Ablation benchmarks: the Fig. 7 MTM variants, the Fig. 9 tau grid and
 //! the Fig. 10 alpha sweep (all on small scenarios).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use mtm_bench::bench_opts;
+use mtm_bench::{bench_opts, Bench};
 use mtm_harness::runs::run_pair;
 
-fn fig7_ablations(c: &mut Criterion) {
-    let opts = bench_opts();
-    let mut g = c.benchmark_group("fig7");
-    g.sample_size(10);
-    for variant in ["MTM", "MTM:w/o-AMR", "MTM:w/o-APS", "MTM:w/o-OC", "MTM:w/o-PEBS", "MTM:w/o-async"] {
-        g.bench_function(variant.replace(':', "_"), |b| {
-            b.iter(|| std::hint::black_box(run_pair(variant, "VoltDB", &opts)))
-        });
-    }
-    g.finish();
-}
+fn main() {
+    let mut b = Bench::new("ablation");
 
-fn fig9_tau_grid(c: &mut Criterion) {
+    let opts = bench_opts();
+    for variant in ["MTM", "MTM:w/o-AMR", "MTM:w/o-APS", "MTM:w/o-OC", "MTM:w/o-PEBS", "MTM:w/o-async"] {
+        let label = format!("fig7/{}", variant.replace(':', "_"));
+        b.iter(&label, || run_pair(variant, "VoltDB", &opts));
+    }
+
     let mut opts = bench_opts();
     opts.intervals = 3;
-    c.bench_function("fig9_tau_grid", |b| {
-        b.iter(|| std::hint::black_box(mtm_harness::fig9::measure(&opts)))
-    });
-}
+    b.iter("fig9_tau_grid", || mtm_harness::fig9::measure(&opts));
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = fig7_ablations, fig9_tau_grid
+    b.finish();
 }
-criterion_main!(benches);

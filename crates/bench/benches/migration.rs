@@ -2,37 +2,24 @@
 //! move_memory_regions breakdown) and Fig. 11 (R / R-W / W patterns per
 //! destination tier).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use mtm_bench::bench_opts;
+use mtm_bench::{bench_opts, Bench};
 use mtm_harness::fig11::Pattern;
 
-fn fig3_mechanism_breakdown(c: &mut Criterion) {
+fn main() {
+    let mut b = Bench::new("migration");
     let opts = bench_opts();
-    c.bench_function("fig3_move_pages_vs_mmr", |b| {
-        b.iter(|| std::hint::black_box(mtm_harness::fig3::measure(&opts)))
-    });
-}
 
-fn fig11_patterns(c: &mut Criterion) {
-    let opts = bench_opts();
-    let mut g = c.benchmark_group("fig11");
+    b.iter("fig3_move_pages_vs_mmr", || mtm_harness::fig3::measure(&opts));
+
     for (mech, pattern, label) in [
-        ("move_pages", Pattern::R, "move_pages_R"),
-        ("nimble", Pattern::R, "nimble_R"),
-        ("mtm", Pattern::R, "mtm_R"),
-        ("mtm", Pattern::RW, "mtm_RW"),
-        ("mtm", Pattern::W, "mtm_W"),
+        ("move_pages", Pattern::R, "fig11/move_pages_R"),
+        ("nimble", Pattern::R, "fig11/nimble_R"),
+        ("mtm", Pattern::R, "fig11/mtm_R"),
+        ("mtm", Pattern::RW, "fig11/mtm_RW"),
+        ("mtm", Pattern::W, "fig11/mtm_W"),
     ] {
-        g.bench_function(label, |b| {
-            b.iter(|| std::hint::black_box(mtm_harness::fig11::measure_one(&opts, mech, 3, pattern)))
-        });
+        b.iter(label, || mtm_harness::fig11::measure_one(&opts, mech, 3, pattern));
     }
-    g.finish();
-}
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = fig3_mechanism_breakdown, fig11_patterns
+    b.finish();
 }
-criterion_main!(benches);

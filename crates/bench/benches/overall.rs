@@ -1,36 +1,21 @@
 //! Overall-evaluation benchmarks: one scenario run per manager on GUPS
-//! (the Fig. 4 / Fig. 5 / Tables 3-6 machinery) plus the two-tier HeMem
-//! comparison of Fig. 12.
+//! (the Fig. 4 / Fig. 5 / Tables 3-6 machinery) plus the MTM runs across
+//! the remaining Table 2 workloads.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use mtm_bench::bench_opts;
+use mtm_bench::{bench_opts, Bench};
 use mtm_harness::runs::run_pair;
 
-fn fig4_managers_on_gups(c: &mut Criterion) {
+fn main() {
+    let mut b = Bench::new("overall");
     let opts = bench_opts();
-    let mut g = c.benchmark_group("fig4_gups");
-    g.sample_size(10);
+
     for mgr in ["first-touch", "hmc", "autonuma", "autotiering", "hemem", "MTM"] {
-        g.bench_function(mgr, |b| {
-            b.iter(|| std::hint::black_box(run_pair(mgr, "GUPS", &opts)))
-        });
+        b.iter(&format!("fig4_gups/{mgr}"), || run_pair(mgr, "GUPS", &opts));
     }
-    g.finish();
-}
 
-fn fig4_mtm_across_workloads(c: &mut Criterion) {
-    let opts = bench_opts();
-    let mut g = c.benchmark_group("fig4_mtm");
-    g.sample_size(10);
     for wl in ["VoltDB", "Cassandra", "BFS", "SSSP", "Spark"] {
-        g.bench_function(wl, |b| b.iter(|| std::hint::black_box(run_pair("MTM", wl, &opts))));
+        b.iter(&format!("fig4_mtm/{wl}"), || run_pair("MTM", wl, &opts));
     }
-    g.finish();
-}
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = fig4_managers_on_gups, fig4_mtm_across_workloads
+    b.finish();
 }
-criterion_main!(benches);

@@ -2,35 +2,21 @@
 //! series), Fig. 6 (hot-object detection), Fig. 8 (overhead-target sweep)
 //! and Table 7 (region formation).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use mtm_bench::bench_opts;
+use mtm_bench::{bench_opts, Bench};
 
-fn fig1_profiling_quality(c: &mut Criterion) {
+fn main() {
+    let mut b = Bench::new("profiling");
+
     let opts = bench_opts();
-    c.bench_function("fig1_profiler_quality_series", |b| {
-        b.iter(|| std::hint::black_box(mtm_harness::fig1::all_series(&opts)))
-    });
-}
+    b.iter("fig1_profiler_quality_series", || mtm_harness::fig1::all_series(&opts));
 
-fn fig6_hot_object_detection(c: &mut Criterion) {
     let mut opts = bench_opts();
     opts.intervals = 6;
-    c.bench_function("fig6_damon_vs_mtm_heatmap", |b| {
-        b.iter(|| std::hint::black_box(mtm_harness::fig6::run(&opts)))
-    });
-}
+    b.iter("fig6_damon_vs_mtm_heatmap", || mtm_harness::fig6::run(&opts));
 
-fn fig8_overhead_targets(c: &mut Criterion) {
     let mut opts = bench_opts();
     opts.intervals = 4;
-    c.bench_function("fig8_overhead_target_sweep", |b| {
-        b.iter(|| std::hint::black_box(mtm_harness::fig8::measure(&opts)))
-    });
-}
+    b.iter("fig8_overhead_target_sweep", || mtm_harness::fig8::measure(&opts));
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = fig1_profiling_quality, fig6_hot_object_detection, fig8_overhead_targets
+    b.finish();
 }
-criterion_main!(benches);

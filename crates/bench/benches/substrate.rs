@@ -1,7 +1,7 @@
 //! Simulator hot-path microbenchmarks: per-access cost, PTE scanning and
 //! region relocation throughput of the `tiersim` substrate itself.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mtm_bench::Bench;
 use tiersim::addr::{VaRange, VirtAddr, PAGE_SIZE_2M, PAGE_SIZE_4K};
 use tiersim::machine::{AccessKind, Machine, MachineConfig};
 use tiersim::tier::optane_four_tier;
@@ -14,48 +14,28 @@ fn machine() -> Machine {
     m
 }
 
-fn access_path(c: &mut Criterion) {
-    let mut m = machine();
-    let mut g = c.benchmark_group("substrate");
-    g.throughput(Throughput::Elements(1));
-    let mut i = 0u64;
-    g.bench_function("access_read", |b| {
-        b.iter(|| {
-            i = i.wrapping_mul(6364136223846793005).wrapping_add(1);
-            let va = VirtAddr((i >> 33) % (64 * PAGE_SIZE_2M) & !63);
-            std::hint::black_box(m.access(0, va, AccessKind::Read))
-        })
-    });
-    g.finish();
-}
+fn main() {
+    let mut b = Bench::new("substrate");
 
-fn pte_scan(c: &mut Criterion) {
     let mut m = machine();
     let mut i = 0u64;
-    c.bench_function("substrate_pte_scan", |b| {
-        b.iter(|| {
-            i += PAGE_SIZE_4K;
-            std::hint::black_box(m.scan_page(VirtAddr(i % (64 * PAGE_SIZE_2M))))
-        })
+    b.iter_throughput("substrate/access_read", 1, || {
+        i = i.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let va = VirtAddr((i >> 33) % (64 * PAGE_SIZE_2M) & !63);
+        m.access(0, va, AccessKind::Read)
     });
-}
 
-fn relocation(c: &mut Criterion) {
-    c.bench_function("substrate_relocate_2mb", |b| {
-        b.iter_batched(
-            machine,
-            |mut m| {
-                let r = VaRange::from_len(VirtAddr(0), PAGE_SIZE_2M);
-                std::hint::black_box(tiersim::migrate::relocate_range(&mut m, r, 3, 0, 4, false))
-            },
-            criterion::BatchSize::LargeInput,
-        )
+    let mut m = machine();
+    let mut i = 0u64;
+    b.iter("substrate/pte_scan", || {
+        i += PAGE_SIZE_4K;
+        m.scan_page(VirtAddr(i % (64 * PAGE_SIZE_2M)))
     });
-}
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = access_path, pte_scan, relocation
+    b.iter_batched("substrate/relocate_2mb", machine, |mut m| {
+        let r = VaRange::from_len(VirtAddr(0), PAGE_SIZE_2M);
+        tiersim::migrate::relocate_range(&mut m, r, 3, 0, 4, false)
+    });
+
+    b.finish();
 }
-criterion_main!(benches);

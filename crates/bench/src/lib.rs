@@ -1,5 +1,15 @@
-//! `mtm-bench` — Criterion benchmarks regenerating the paper's tables and
-//! figures at a reduced (CI-sized) scale.
+//! `mtm-bench` — in-repo benchmark harness plus benches regenerating
+//! the paper's tables and figures at a reduced (CI-sized) scale.
+//!
+//! The harness (see [`runner`], [`stats`], [`report`]) replaces
+//! `criterion` so the workspace builds with zero external dependencies:
+//! warmup + N timed samples over `std::time::Instant`, auto-batching
+//! for nanosecond-scale routines, mean/p50/min/stddev summaries, and a
+//! JSON report per suite under `results/bench_<suite>.json` so BENCH
+//! trajectories can be tracked across PRs.
+//!
+//! Run everything with `cargo bench -p mtm-bench`; add `-- --quick`
+//! (or `MTM_BENCH_QUICK=1`) for a single-sample bit-rot check.
 //!
 //! Each bench target maps to evaluation artifacts (see `DESIGN.md`):
 //!
@@ -10,6 +20,13 @@
 //! | `overall` | Fig. 4, Fig. 5, Tables 3-6, Fig. 12 |
 //! | `ablation` | Fig. 7, Fig. 9, Fig. 10 |
 //! | `substrate` | simulator hot paths (access, scan, migrate) |
+
+pub mod report;
+pub mod runner;
+pub mod stats;
+
+pub use runner::{Bench, BenchConfig, BenchResult};
+pub use stats::Stats;
 
 use mtm_harness::Opts;
 

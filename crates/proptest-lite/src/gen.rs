@@ -1,0 +1,273 @@
+//! Composable input generators with built-in greedy shrinking.
+//!
+//! A [`Gen`] produces values from a deterministic [`SplitMix64`] stream
+//! and knows how to propose *smaller* variants of a failing value
+//! (`shrink`). Shrinking is greedy and bounded by the runner: scalars
+//! bisect toward their lower bound, vectors halve their length and then
+//! shrink individual elements, tuples shrink one component at a time.
+
+use tiersim::rng::SplitMix64;
+
+/// A reproducible value generator with shrinking.
+pub trait Gen {
+    /// The generated value type.
+    type Value: Clone + std::fmt::Debug;
+
+    /// Draws one value from the random stream.
+    fn generate(&self, rng: &mut SplitMix64) -> Self::Value;
+
+    /// Proposes simpler candidate values derived from `value`, most
+    /// aggressive first. An empty vec means the value is minimal.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+}
+
+macro_rules! int_range_gen {
+    ($name:ident, $builder:ident, $ty:ty, $doc:literal) => {
+        #[doc = $doc]
+        #[derive(Clone, Copy, Debug)]
+        pub struct $name {
+            lo: $ty,
+            hi: $ty,
+        }
+
+        /// Uniform integer in the half-open range `[lo, hi)`.
+        pub fn $builder(lo: $ty, hi: $ty) -> $name {
+            assert!(lo < hi, "empty range [{lo}, {hi})");
+            $name { lo, hi }
+        }
+
+        impl Gen for $name {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut SplitMix64) -> $ty {
+                let span = (self.hi - self.lo) as u64;
+                self.lo + rng.below(span) as $ty
+            }
+
+            fn shrink(&self, value: &$ty) -> Vec<$ty> {
+                let v = *value;
+                if v == self.lo {
+                    return Vec::new();
+                }
+                // Halving deltas: lo first (most aggressive), then
+                // points progressively closer to v, ending at v - 1.
+                // Greedy restarts from any failing candidate, so this
+                // binary-searches down to the failure boundary.
+                let mut out = Vec::new();
+                let mut delta = v - self.lo;
+                while delta > 0 {
+                    out.push(v - delta);
+                    delta /= 2;
+                }
+                out
+            }
+        }
+    };
+}
+
+int_range_gen!(U8Range, u8_range, u8, "Uniform `u8` in `[lo, hi)`.");
+int_range_gen!(U16Range, u16_range, u16, "Uniform `u16` in `[lo, hi)`.");
+int_range_gen!(U32Range, u32_range, u32, "Uniform `u32` in `[lo, hi)`.");
+int_range_gen!(U64Range, u64_range, u64, "Uniform `u64` in `[lo, hi)`.");
+int_range_gen!(UsizeRange, usize_range, usize, "Uniform `usize` in `[lo, hi)`.");
+
+/// Uniform `f64` in the half-open range `[lo, hi)`.
+#[derive(Clone, Copy, Debug)]
+pub struct F64Range {
+    lo: f64,
+    hi: f64,
+}
+
+/// Uniform float in `[lo, hi)`.
+pub fn f64_range(lo: f64, hi: f64) -> F64Range {
+    assert!(lo < hi, "empty range [{lo}, {hi})");
+    F64Range { lo, hi }
+}
+
+impl Gen for F64Range {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut SplitMix64) -> f64 {
+        self.lo + rng.unit_f64() * (self.hi - self.lo)
+    }
+
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        let v = *value;
+        if v <= self.lo {
+            return Vec::new();
+        }
+        // Halving deltas toward v, stopping once the step is negligible
+        // relative to the range.
+        let mut out = Vec::new();
+        let mut delta = v - self.lo;
+        let floor = 1e-9 * (self.hi - self.lo);
+        while delta > floor {
+            out.push(v - delta);
+            delta /= 2.0;
+        }
+        out
+    }
+}
+
+/// Vector generator with an inclusive length range `[lo, hi]`.
+#[derive(Clone, Copy, Debug)]
+pub struct VecGen<G> {
+    elem: G,
+    lo: usize,
+    hi: usize,
+}
+
+/// Fixed-length vector: exactly `len` draws from `elem`. Shrinking
+/// keeps the length and simplifies elements (like `proptest`).
+pub fn vec<G: Gen>(elem: G, len: usize) -> VecGen<G> {
+    VecGen { elem, lo: len, hi: len }
+}
+
+/// Variable-length vector with a uniform length in `[min_len, max_len)`,
+/// mirroring `proptest`'s `vec(elem, min..max)`. Shrinking halves the
+/// length toward `min_len` before simplifying elements.
+pub fn vec_in<G: Gen>(elem: G, min_len: usize, max_len: usize) -> VecGen<G> {
+    assert!(min_len < max_len, "empty length range [{min_len}, {max_len})");
+    VecGen { elem, lo: min_len, hi: max_len - 1 }
+}
+
+impl<G: Gen> Gen for VecGen<G> {
+    type Value = Vec<G::Value>;
+
+    fn generate(&self, rng: &mut SplitMix64) -> Vec<G::Value> {
+        let len = if self.hi > self.lo {
+            self.lo + rng.below((self.hi - self.lo + 1) as u64) as usize
+        } else {
+            self.lo
+        };
+        (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Vec<G::Value>) -> Vec<Vec<G::Value>> {
+        let mut out = Vec::new();
+        // Variable-length vectors first try getting shorter: halve the
+        // length (keeping the front half preserves index alignment with
+        // any paired structure), then remove single elements.
+        if self.hi > self.lo && value.len() > self.lo {
+            let half = (value.len() / 2).max(self.lo);
+            if half < value.len() {
+                out.push(value[..half].to_vec());
+            }
+            for i in 0..value.len() {
+                let mut copy = value.clone();
+                copy.remove(i);
+                out.push(copy);
+            }
+        }
+        // Shrink elements in place, one position at a time (first
+        // candidate per position keeps the fan-out bounded).
+        for (i, v) in value.iter().enumerate() {
+            if let Some(simpler) = self.elem.shrink(v).into_iter().next() {
+                let mut copy = value.clone();
+                copy[i] = simpler;
+                out.push(copy);
+            }
+        }
+        out
+    }
+}
+
+macro_rules! tuple_gen {
+    ($(($($g:ident / $v:ident / $idx:tt),+))+) => {$(
+        impl<$($g: Gen),+> Gen for ($($g,)+) {
+            type Value = ($($g::Value,)+);
+
+            fn generate(&self, rng: &mut SplitMix64) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut copy = value.clone();
+                        copy.$idx = cand;
+                        out.push(copy);
+                    }
+                )+
+                out
+            }
+        }
+    )+};
+}
+
+tuple_gen! {
+    (A / a / 0, B / b / 1)
+    (A / a / 0, B / b / 1, C / c / 2)
+    (A / a / 0, B / b / 1, C / c / 2, D / d / 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SplitMix64::new(7);
+        let g = u64_range(10, 20);
+        for _ in 0..256 {
+            let v = g.generate(&mut rng);
+            assert!((10..20).contains(&v));
+        }
+        let f = f64_range(-1.0, 1.0);
+        for _ in 0..256 {
+            let v = f.generate(&mut rng);
+            assert!((-1.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn scalar_shrink_bisects_toward_lo() {
+        let g = u64_range(0, 100);
+        let cands = g.shrink(&80);
+        assert_eq!(cands.first(), Some(&0), "most aggressive candidate first");
+        assert_eq!(cands.last(), Some(&79), "finest step is v - 1");
+        assert!(cands.windows(2).all(|w| w[0] < w[1]), "strictly increasing");
+        assert!(g.shrink(&0).is_empty());
+        assert_eq!(g.shrink(&1), vec![0]);
+    }
+
+    #[test]
+    fn vec_lengths_respect_bounds() {
+        let mut rng = SplitMix64::new(3);
+        let g = vec_in(u8_range(0, 4), 1, 8);
+        for _ in 0..256 {
+            let v = g.generate(&mut rng);
+            assert!((1..8).contains(&v.len()));
+        }
+        let fixed = vec(u8_range(0, 4), 16);
+        assert_eq!(fixed.generate(&mut rng).len(), 16);
+    }
+
+    #[test]
+    fn vec_shrink_halves_and_never_underflows_min() {
+        let g = vec_in(u64_range(0, 10), 2, 9);
+        let candidates = g.shrink(&std::vec![5, 5, 5, 5, 5, 5, 5, 5]);
+        assert!(candidates.iter().all(|c| c.len() >= 2));
+        assert!(candidates.iter().any(|c| c.len() == 4), "halving candidate present");
+    }
+
+    #[test]
+    fn tuple_shrink_varies_one_component() {
+        let g = (u64_range(0, 10), u8_range(0, 4));
+        let cands = g.shrink(&(8, 3));
+        assert!(cands.contains(&(0, 3)));
+        assert!(cands.contains(&(8, 0)));
+        assert!(!cands.contains(&(0, 0)), "one component at a time");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let g = vec(u64_range(0, 1 << 32), 32);
+        let a = g.generate(&mut SplitMix64::new(42));
+        let b = g.generate(&mut SplitMix64::new(42));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,103 @@
+//! `proptest-lite` — a minimal, dependency-free property-testing harness.
+//!
+//! The workspace builds hermetically (no registry access), so instead of
+//! pulling in `proptest` this crate provides the small slice of it the
+//! repo actually uses:
+//!
+//! * [`gen`] — composable generators ([`Gen`]) driven by the workspace's
+//!   deterministic [`SplitMix64`] stream: scalar ranges, fixed- and
+//!   variable-length vectors, and tuples.
+//! * [`runner`] — a [`check`](runner::check) loop that runs a property
+//!   over `cases` generated inputs, and on failure greedily shrinks the
+//!   input (halve vector lengths, bisect scalars toward their lower
+//!   bound) before panicking with the failing seed for replay.
+//! * [`prop_check!`] / [`prop_assert!`] / [`prop_assert_eq!`] — macro
+//!   sugar mirroring the `proptest` test style.
+//!
+//! Replaying a failure is seed-based: every panic message carries the
+//! base seed and case index, and `PROPTEST_LITE_SEED=<n>` reruns the
+//! whole property from that base seed. `PROPTEST_LITE_CASES=<n>`
+//! overrides the case count (e.g. for a long soak).
+//!
+//! ```
+//! use proptest_lite::{gen, prop_check};
+//!
+//! prop_check!("vec_sum_is_order_independent", 64,
+//!     gen::vec(gen::u64_range(0, 1000), 8),
+//!     |v| {
+//!         let forward: u64 = v.iter().sum();
+//!         let backward: u64 = v.iter().rev().sum();
+//!         proptest_lite::prop_assert_eq!(forward, backward);
+//!     });
+//! ```
+
+pub mod gen;
+pub mod runner;
+
+pub use gen::Gen;
+pub use runner::{check, Config};
+pub use tiersim::rng::SplitMix64;
+
+/// Asserts a condition inside a property body; on failure returns
+/// `Err` with the stringified condition (or a formatted message), which
+/// the runner treats as a counterexample and shrinks.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err(format!(
+                "assertion failed: {}", stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a property body; mirrors
+/// `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return ::core::result::Result::Err(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), l, r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return ::core::result::Result::Err(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+), l, r
+            ));
+        }
+    }};
+}
+
+/// Runs a property over `cases` generated inputs.
+///
+/// `prop_check!(name, cases, generator, |input| { ... })` — the closure
+/// body uses [`prop_assert!`] / [`prop_assert_eq!`] (or early
+/// `return Err(..)`) to reject an input. The closure receives the input
+/// by reference; tuple generators destructure directly
+/// (`|(xs, ops)| ...`).
+#[macro_export]
+macro_rules! prop_check {
+    ($name:expr, $cases:expr, $gen:expr, |$input:pat_param| $body:block) => {{
+        let __gen = $gen;
+        let __config = $crate::Config::with_cases($cases);
+        $crate::check($name, &__config, &__gen, |__value: &_| {
+            let $input = __value;
+            $body
+            #[allow(unreachable_code)]
+            ::core::result::Result::Ok(())
+        });
+    }};
+}

@@ -1,0 +1,172 @@
+//! The property runner: generate, test, shrink, report.
+
+use crate::gen::Gen;
+use tiersim::rng::SplitMix64;
+
+/// Default base seed; overridden by `PROPTEST_LITE_SEED`.
+const DEFAULT_SEED: u64 = 0x5eed_1e55_u64;
+
+/// Hard cap on property evaluations spent shrinking one failure.
+const SHRINK_BUDGET: u32 = 1024;
+
+/// Runner configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Number of generated inputs to test.
+    pub cases: u64,
+    /// Base seed; each case derives its own stream from it.
+    pub seed: u64,
+}
+
+impl Config {
+    /// `cases` generated inputs, honoring the `PROPTEST_LITE_SEED` and
+    /// `PROPTEST_LITE_CASES` environment overrides (for replaying a
+    /// reported failure and for soak runs respectively).
+    pub fn with_cases(cases: u64) -> Config {
+        let seed = std::env::var("PROPTEST_LITE_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_SEED);
+        let cases = std::env::var("PROPTEST_LITE_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(cases);
+        Config { cases, seed }
+    }
+}
+
+/// Derives the per-case RNG from the base seed. Kept public so a
+/// failure can be replayed by hand for a single case.
+pub fn case_rng(base_seed: u64, case: u64) -> SplitMix64 {
+    // Decorrelate cases by running the case index through one SplitMix64
+    // step seeded off the base.
+    let mut mixer = SplitMix64::new(base_seed ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    SplitMix64::new(mixer.next_u64())
+}
+
+/// Runs `prop` over `config.cases` inputs drawn from `gen`.
+///
+/// On the first failing input the runner shrinks greedily — it walks the
+/// generator's candidates and restarts from the first one that still
+/// fails, until no candidate fails or the budget is spent — then panics
+/// with the minimal counterexample, the property error, and the
+/// `PROPTEST_LITE_SEED` needed to replay the run.
+pub fn check<G, F>(name: &str, config: &Config, gen: &G, prop: F)
+where
+    G: Gen,
+    F: Fn(&G::Value) -> Result<(), String>,
+{
+    for case in 0..config.cases {
+        let mut rng = case_rng(config.seed, case);
+        let value = gen.generate(&mut rng);
+        if let Err(err) = prop(&value) {
+            let (shrunk, err, steps) = shrink_failure(gen, &prop, value, err);
+            panic!(
+                "property '{name}' falsified at case {case}/{cases} \
+                 (base seed {seed:#x})\n  \
+                 replay: PROPTEST_LITE_SEED={seed} cargo test {name}\n  \
+                 counterexample (after {steps} shrink steps): {shrunk:?}\n  \
+                 error: {err}",
+                cases = config.cases,
+                seed = config.seed,
+            );
+        }
+    }
+}
+
+/// Greedy shrink loop: keep the first simpler candidate that still
+/// fails; stop when everything passes or the budget runs out.
+fn shrink_failure<G, F>(
+    gen: &G,
+    prop: &F,
+    mut value: G::Value,
+    mut err: String,
+) -> (G::Value, String, u32)
+where
+    G: Gen,
+    F: Fn(&G::Value) -> Result<(), String>,
+{
+    let mut budget = SHRINK_BUDGET;
+    let mut steps = 0;
+    'outer: while budget > 0 {
+        for candidate in gen.shrink(&value) {
+            if budget == 0 {
+                break 'outer;
+            }
+            budget -= 1;
+            if let Err(candidate_err) = prop(&candidate) {
+                value = candidate;
+                err = candidate_err;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (value, err, steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let counted = std::cell::Cell::new(0u64);
+        let config = Config { cases: 32, seed: 1 };
+        check("always_true", &config, &gen::u64_range(0, 10), |_| {
+            counted.set(counted.get() + 1);
+            Ok(())
+        });
+        assert_eq!(counted.get(), 32);
+    }
+
+    #[test]
+    fn failure_is_shrunk_to_boundary_and_reports_seed() {
+        // Property "v < 500" over [0, 1000): minimal counterexample via
+        // bisection from any failing value lands at or near 500.
+        let config = Config { cases: 256, seed: 99 };
+        let result = std::panic::catch_unwind(|| {
+            check("bounded", &config, &gen::u64_range(0, 1000), |v| {
+                if *v >= 500 {
+                    Err(format!("{v} too big"))
+                } else {
+                    Ok(())
+                }
+            });
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("PROPTEST_LITE_SEED=99"), "seed in message: {msg}");
+        assert!(msg.contains("counterexample"), "counterexample in message: {msg}");
+        // Greedy bisection toward 0 converges to exactly the boundary.
+        assert!(msg.contains(": 500"), "shrunk to boundary: {msg}");
+    }
+
+    #[test]
+    fn vec_failures_shrink_length() {
+        // "no vec contains a 7" — minimal counterexample is a single 7.
+        let config = Config { cases: 512, seed: 3 };
+        let g = gen::vec_in(gen::u64_range(0, 8), 1, 32);
+        let result = std::panic::catch_unwind(|| {
+            check("no_sevens", &config, &g, |v| {
+                if v.contains(&7) {
+                    Err("has a 7".into())
+                } else {
+                    Ok(())
+                }
+            });
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("[7]"), "minimal vec: {msg}");
+    }
+
+    #[test]
+    fn case_rng_streams_are_decorrelated() {
+        let a = case_rng(1, 0).next_u64();
+        let b = case_rng(1, 1).next_u64();
+        let c = case_rng(2, 0).next_u64();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 verification for the whole workspace.
+#
+# Bare `cargo test -q` at the root only runs the root package's ten
+# integration tests and silently skips the ~180 unit tests living in the
+# member crates — always verify with `--workspace`. The quick bench pass
+# catches bench bit-rot (the bench harness compiles and runs end to end,
+# emitting results/bench_*.json) without paying for real statistics.
+#
+# Usage: scripts/verify.sh [--no-bench]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --workspace
+cargo test -q --workspace
+
+if [[ "${1:-}" != "--no-bench" ]]; then
+    cargo bench -p mtm-bench -- --quick
+fi
+
+echo "verify: OK"

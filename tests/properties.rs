@@ -1,8 +1,10 @@
-//! Property-based tests over the core data structures and invariants.
+//! Property-based tests over the core data structures and invariants,
+//! run on the in-repo `proptest-lite` harness (see that crate's docs for
+//! seed replay: failures print a `PROPTEST_LITE_SEED` to rerun with).
 
 use mtm::region::{Region, RegionList};
 use mtm_harness::metrics::{intersection_bytes, normalize, quality, total_bytes};
-use proptest::prelude::*;
+use proptest_lite::{gen, prop_assert, prop_assert_eq, prop_check};
 use tiersim::addr::{VaRange, VirtAddr, PAGE_SIZE_2M, PAGE_SIZE_4K};
 use tiersim::frame::{FrameAllocator, FrameSize};
 use tiersim::machine::{AccessKind, Machine, MachineConfig};
@@ -15,156 +17,190 @@ fn region_list(chunks: u64) -> RegionList {
     list
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Arbitrary sequences of observations, merges and splits keep the
-    /// region list sorted, disjoint and quota-positive, and never change
-    /// the total bytes covered.
-    #[test]
-    fn region_list_stays_well_formed(
-        his in prop::collection::vec(0.0f64..3.0, 16),
-        spreads in prop::collection::vec(0.0f64..3.0, 16),
-        ops in prop::collection::vec(0u8..3, 12),
-    ) {
-        let mut list = region_list(16);
-        let covered: u64 = list.regions().iter().map(Region::len).sum();
-        for (r, (&hi, &spread)) in list.regions_mut().iter_mut().zip(his.iter().zip(&spreads)) {
-            r.observe(hi, 0.5);
-            r.spread = spread;
-            r.sample_max = spread.max(hi);
-            r.evidence = 1;
-        }
-        for op in ops {
-            match op {
-                0 => {
-                    list.merge_pass(1.0, 3, |_, _| true);
-                }
-                1 => {
-                    list.split_pass(2.0, 3, |_| false);
-                }
-                _ => {
-                    list.split_pass(0.5, 3, |_| true);
-                }
+/// Arbitrary sequences of observations, merges and splits keep the
+/// region list sorted, disjoint and quota-positive, and never change
+/// the total bytes covered.
+#[test]
+fn region_list_stays_well_formed() {
+    prop_check!(
+        "region_list_stays_well_formed",
+        64,
+        (
+            gen::vec(gen::f64_range(0.0, 3.0), 16),
+            gen::vec(gen::f64_range(0.0, 3.0), 16),
+            gen::vec(gen::u8_range(0, 3), 12),
+        ),
+        |(his, spreads, ops)| {
+            let mut list = region_list(16);
+            let covered: u64 = list.regions().iter().map(Region::len).sum();
+            for (r, (&hi, &spread)) in list.regions_mut().iter_mut().zip(his.iter().zip(spreads)) {
+                r.observe(hi, 0.5);
+                r.spread = spread;
+                r.sample_max = spread.max(hi);
+                r.evidence = 1;
             }
-            prop_assert!(list.is_well_formed());
-            let now: u64 = list.regions().iter().map(Region::len).sum();
-            prop_assert_eq!(now, covered, "coverage is preserved");
-        }
-    }
-
-    /// Merging frees exactly the quota difference; splitting adds at most
-    /// one per split; every region keeps at least one sample.
-    #[test]
-    fn quota_accounting_balances(
-        quotas in prop::collection::vec(1u32..16, 12),
-    ) {
-        let mut list = region_list(12);
-        for (r, &q) in list.regions_mut().iter_mut().zip(&quotas) {
-            r.quota = q;
-            r.evidence = 1;
-        }
-        let before = list.total_quota();
-        let freed = list.merge_pass(f64::INFINITY, 3, |_, _| true);
-        let after = list.total_quota();
-        prop_assert_eq!(after + freed, before, "no samples are lost by merging");
-        prop_assert!(list.regions().iter().all(|r| r.quota >= 1));
-    }
-
-    /// The frame allocator never double-allocates and its accounting is
-    /// exact under arbitrary alloc/free interleavings.
-    #[test]
-    fn frame_allocator_is_sound(ops in prop::collection::vec((0u8..2, 0u8..2), 64)) {
-        let mut alloc = FrameAllocator::new(0, 16 * PAGE_SIZE_2M);
-        let mut live: Vec<(tiersim::addr::PhysAddr, FrameSize)> = Vec::new();
-        let mut seen = std::collections::HashSet::new();
-        for (op, size) in ops {
-            let size = if size == 0 { FrameSize::Base4K } else { FrameSize::Huge2M };
-            if op == 0 {
-                if let Ok(frame) = alloc.alloc(size) {
-                    prop_assert!(seen.insert(frame), "no double allocation of {frame:?}");
-                    live.push((frame, size));
+            for op in ops {
+                match op {
+                    0 => {
+                        list.merge_pass(1.0, 3, |_, _| true);
+                    }
+                    1 => {
+                        list.split_pass(2.0, 3, |_| false);
+                    }
+                    _ => {
+                        list.split_pass(0.5, 3, |_| true);
+                    }
                 }
-            } else if let Some((frame, size)) = live.pop() {
-                alloc.free_frame(frame, size);
-                seen.remove(&frame);
-            }
-            let live_bytes: u64 = live.iter().map(|&(_, s)| s.bytes()).sum();
-            prop_assert_eq!(alloc.used(), live_bytes, "accounting matches live set");
-        }
-    }
-
-    /// Range-set metrics behave like set measures: intersection is
-    /// symmetric, bounded by both totals, and self-quality is perfect.
-    #[test]
-    fn range_metrics_are_measure_like(
-        a in prop::collection::vec((0u64..64, 1u64..16), 1..8),
-        b in prop::collection::vec((0u64..64, 1u64..16), 1..8),
-    ) {
-        let mk = |v: &Vec<(u64, u64)>| -> Vec<VaRange> {
-            v.iter()
-                .map(|&(s, l)| VaRange::from_len(VirtAddr(s * PAGE_SIZE_4K), l * PAGE_SIZE_4K))
-                .collect()
-        };
-        let (ra, rb) = (mk(&a), mk(&b));
-        let i1 = intersection_bytes(&ra, &rb);
-        let i2 = intersection_bytes(&rb, &ra);
-        prop_assert_eq!(i1, i2, "intersection is symmetric");
-        prop_assert!(i1 <= total_bytes(&ra));
-        prop_assert!(i1 <= total_bytes(&rb));
-        let q = quality(&ra, &ra);
-        prop_assert!((q.recall - 1.0).abs() < 1e-9);
-        prop_assert!((q.accuracy - 1.0).abs() < 1e-9);
-        // Normalization is idempotent.
-        let n = normalize(ra.clone());
-        prop_assert_eq!(normalize(n.clone()), n);
-    }
-
-    /// Relocating a range preserves frame versions (no lost writes) and
-    /// machine-wide byte accounting.
-    #[test]
-    fn migration_preserves_data_and_accounting(
-        writes in prop::collection::vec(0u64..512, 1..32),
-        dst in 0u16..2,
-    ) {
-        let topo = tiny_two_tier(8 * PAGE_SIZE_2M, 8 * PAGE_SIZE_2M);
-        let mut m = Machine::new(MachineConfig::new(topo, 1));
-        let range = VaRange::from_len(VirtAddr(0), PAGE_SIZE_2M);
-        m.mmap("p", range, false);
-        m.prefault_range(range, &[1 - dst]).unwrap();
-        // Apply writes and remember per-page counts.
-        let mut counts = std::collections::HashMap::new();
-        for w in &writes {
-            let va = VirtAddr(w * PAGE_SIZE_4K);
-            m.access(0, va, AccessKind::Write);
-            *counts.entry(va).or_insert(0u64) += 1;
-        }
-        let mapped_before = m.page_table().mapped_bytes();
-        let used_before: u64 = m.residency().iter().sum();
-        let _ = tiersim::migrate::relocate_range(&mut m, range, dst, 0, 2, false).unwrap();
-        prop_assert_eq!(m.page_table().mapped_bytes(), mapped_before);
-        prop_assert_eq!(m.residency().iter().sum::<u64>(), used_before);
-        for (va, count) in counts {
-            let t = m.page_table().translate(va).unwrap();
-            prop_assert_eq!(t.pte.frame().component(), dst);
-            prop_assert_eq!(m.frame_version(t.pte.frame()), count, "writes survived the move");
-        }
-    }
-
-    /// The zipfian sampler is always in range and monotonically favours
-    /// low ranks in aggregate.
-    #[test]
-    fn zipfian_is_bounded_and_skewed(seed in 0u64..1000) {
-        let z = mtm_workloads::rng::Zipfian::new(10_000, 0.99);
-        let mut rng = tiersim::rng::SplitMix64::new(seed);
-        let mut low = 0u64;
-        for _ in 0..512 {
-            let r = z.sample(&mut rng);
-            prop_assert!(r < 10_000);
-            if r < 100 {
-                low += 1;
+                prop_assert!(list.is_well_formed());
+                let now: u64 = list.regions().iter().map(Region::len).sum();
+                prop_assert_eq!(now, covered, "coverage is preserved");
             }
         }
-        prop_assert!(low > 64, "top-1% ranks draw a large share (got {low}/512)");
-    }
+    );
+}
+
+/// Merging frees exactly the quota difference; splitting adds at most
+/// one per split; every region keeps at least one sample.
+#[test]
+fn quota_accounting_balances() {
+    prop_check!(
+        "quota_accounting_balances",
+        64,
+        gen::vec(gen::u32_range(1, 16), 12),
+        |quotas| {
+            let mut list = region_list(12);
+            for (r, &q) in list.regions_mut().iter_mut().zip(quotas) {
+                r.quota = q;
+                r.evidence = 1;
+            }
+            let before = list.total_quota();
+            let freed = list.merge_pass(f64::INFINITY, 3, |_, _| true);
+            let after = list.total_quota();
+            prop_assert_eq!(after + freed, before, "no samples are lost by merging");
+            prop_assert!(list.regions().iter().all(|r| r.quota >= 1));
+        }
+    );
+}
+
+/// The frame allocator never double-allocates and its accounting is
+/// exact under arbitrary alloc/free interleavings.
+#[test]
+fn frame_allocator_is_sound() {
+    prop_check!(
+        "frame_allocator_is_sound",
+        64,
+        gen::vec((gen::u8_range(0, 2), gen::u8_range(0, 2)), 64),
+        |ops| {
+            let mut alloc = FrameAllocator::new(0, 16 * PAGE_SIZE_2M);
+            let mut live: Vec<(tiersim::addr::PhysAddr, FrameSize)> = Vec::new();
+            let mut seen = std::collections::HashSet::new();
+            for &(op, size) in ops {
+                let size = if size == 0 { FrameSize::Base4K } else { FrameSize::Huge2M };
+                if op == 0 {
+                    if let Ok(frame) = alloc.alloc(size) {
+                        prop_assert!(seen.insert(frame), "no double allocation of {frame:?}");
+                        live.push((frame, size));
+                    }
+                } else if let Some((frame, size)) = live.pop() {
+                    alloc.free_frame(frame, size);
+                    seen.remove(&frame);
+                }
+                let live_bytes: u64 = live.iter().map(|&(_, s)| s.bytes()).sum();
+                prop_assert_eq!(alloc.used(), live_bytes, "accounting matches live set");
+            }
+        }
+    );
+}
+
+/// Range-set metrics behave like set measures: intersection is
+/// symmetric, bounded by both totals, and self-quality is perfect.
+#[test]
+fn range_metrics_are_measure_like() {
+    prop_check!(
+        "range_metrics_are_measure_like",
+        64,
+        (
+            gen::vec_in((gen::u64_range(0, 64), gen::u64_range(1, 16)), 1, 8),
+            gen::vec_in((gen::u64_range(0, 64), gen::u64_range(1, 16)), 1, 8),
+        ),
+        |(a, b)| {
+            let mk = |v: &Vec<(u64, u64)>| -> Vec<VaRange> {
+                v.iter()
+                    .map(|&(s, l)| VaRange::from_len(VirtAddr(s * PAGE_SIZE_4K), l * PAGE_SIZE_4K))
+                    .collect()
+            };
+            let (ra, rb) = (mk(a), mk(b));
+            let i1 = intersection_bytes(&ra, &rb);
+            let i2 = intersection_bytes(&rb, &ra);
+            prop_assert_eq!(i1, i2, "intersection is symmetric");
+            prop_assert!(i1 <= total_bytes(&ra));
+            prop_assert!(i1 <= total_bytes(&rb));
+            let q = quality(&ra, &ra);
+            prop_assert!((q.recall - 1.0).abs() < 1e-9);
+            prop_assert!((q.accuracy - 1.0).abs() < 1e-9);
+            // Normalization is idempotent.
+            let n = normalize(ra.clone());
+            prop_assert_eq!(normalize(n.clone()), n);
+        }
+    );
+}
+
+/// Relocating a range preserves frame versions (no lost writes) and
+/// machine-wide byte accounting.
+#[test]
+fn migration_preserves_data_and_accounting() {
+    prop_check!(
+        "migration_preserves_data_and_accounting",
+        64,
+        (gen::vec_in(gen::u64_range(0, 512), 1, 32), gen::u16_range(0, 2)),
+        |(writes, dst)| {
+            let dst = *dst;
+            let topo = tiny_two_tier(8 * PAGE_SIZE_2M, 8 * PAGE_SIZE_2M);
+            let mut m = Machine::new(MachineConfig::new(topo, 1));
+            let range = VaRange::from_len(VirtAddr(0), PAGE_SIZE_2M);
+            m.mmap("p", range, false);
+            m.prefault_range(range, &[1 - dst]).unwrap();
+            // Apply writes and remember per-page counts.
+            let mut counts = std::collections::HashMap::new();
+            for w in writes {
+                let va = VirtAddr(w * PAGE_SIZE_4K);
+                m.access(0, va, AccessKind::Write);
+                *counts.entry(va).or_insert(0u64) += 1;
+            }
+            let mapped_before = m.page_table().mapped_bytes();
+            let used_before: u64 = m.residency().iter().sum();
+            let _ = tiersim::migrate::relocate_range(&mut m, range, dst, 0, 2, false).unwrap();
+            prop_assert_eq!(m.page_table().mapped_bytes(), mapped_before);
+            prop_assert_eq!(m.residency().iter().sum::<u64>(), used_before);
+            for (va, count) in counts {
+                let t = m.page_table().translate(va).unwrap();
+                prop_assert_eq!(t.pte.frame().component(), dst);
+                prop_assert_eq!(m.frame_version(t.pte.frame()), count, "writes survived the move");
+            }
+        }
+    );
+}
+
+/// The zipfian sampler is always in range and monotonically favours
+/// low ranks in aggregate.
+#[test]
+fn zipfian_is_bounded_and_skewed() {
+    prop_check!(
+        "zipfian_is_bounded_and_skewed",
+        64,
+        gen::u64_range(0, 1000),
+        |&seed| {
+            let z = mtm_workloads::rng::Zipfian::new(10_000, 0.99);
+            let mut rng = tiersim::rng::SplitMix64::new(seed);
+            let mut low = 0u64;
+            for _ in 0..512 {
+                let r = z.sample(&mut rng);
+                prop_assert!(r < 10_000);
+                if r < 100 {
+                    low += 1;
+                }
+            }
+            prop_assert!(low > 64, "top-1% ranks draw a large share (got {low}/512)");
+        }
+    );
 }
