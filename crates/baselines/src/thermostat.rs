@@ -90,7 +90,11 @@ impl MemoryManager for Thermostat {
         for f in m.drain_prot_faults() {
             *self.chunk_faults.entry(f.page.page_2m().0).or_insert(0) += 1;
         }
-        let hot_chunks: Vec<u64> = self.chunk_faults.keys().copied().collect();
+        // Sort: HashMap iteration order depends on the per-thread hasher
+        // seed, and promotion order is behavior (free-space checks), so an
+        // unsorted walk makes the whole run nondeterministic.
+        let mut hot_chunks: Vec<u64> = self.chunk_faults.keys().copied().collect();
+        hot_chunks.sort_unstable();
         self.hot_bytes_sum += self
             .chunk_faults
             .len() as u64
@@ -138,9 +142,11 @@ impl Thermostat {
     /// Chunks classified hot in the last interval (for profiling-quality
     /// studies, Fig. 1).
     pub fn hot_ranges(&self) -> Vec<VaRange> {
-        self.chunk_faults
-            .keys()
-            .map(|&base| VaRange::from_len(VirtAddr(base), tiersim::addr::PAGE_SIZE_2M))
+        let mut bases: Vec<u64> = self.chunk_faults.keys().copied().collect();
+        bases.sort_unstable();
+        bases
+            .into_iter()
+            .map(|base| VaRange::from_len(VirtAddr(base), tiersim::addr::PAGE_SIZE_2M))
             .collect()
     }
 

@@ -74,25 +74,32 @@ fn series<M: MemoryManager>(
     QualitySeries { name: name.into(), points }
 }
 
-/// Runs all four profilers and returns their series.
+/// Runs all four profilers (independent simulations, in parallel on the
+/// worker pool) and returns their series in fixed order.
 pub fn all_series(opts: &Opts) -> Vec<QualitySeries> {
-    let mut out = Vec::new();
-    // MTM: the adaptive profiler, no migration (budget 0).
-    let mut cfg = MtmConfig::default();
-    cfg.promote_bytes = 0;
-    let scans = cfg.num_scans as f64;
-    out.push(series(opts, "MTM", MtmManager::new(cfg, 2), move |mgr| {
-        mgr.profiler().hot_ranges_above(scans * 0.5)
-    }));
-    // DAMON: region profiler, threshold at 30 % of checks.
-    let dcfg = DamonConfig::default();
-    let thr = (dcfg.checks_per_interval as f64 * 0.3) as u32;
-    out.push(series(opts, "DAMON", Damon::new(dcfg), move |d| d.hot_ranges_above(thr.max(1))));
-    // Thermostat: protection-fault profiler.
-    out.push(series(opts, "Thermostat", Thermostat::new(0), |t| t.hot_ranges()));
-    // AutoTiering: random scan windows.
-    out.push(series(opts, "AutoTiering", AutoTiering::new(0), |a| a.hot_ranges()));
-    out
+    use crate::runpool::{run_all, Job};
+    let jobs: Vec<Job<'_, QualitySeries>> = vec![
+        // MTM: the adaptive profiler, no migration (budget 0).
+        Box::new(move || {
+            let mut cfg = MtmConfig::default();
+            cfg.promote_bytes = 0;
+            let scans = cfg.num_scans as f64;
+            series(opts, "MTM", MtmManager::new(cfg, 2), move |mgr| {
+                mgr.profiler().hot_ranges_above(scans * 0.5)
+            })
+        }),
+        // DAMON: region profiler, threshold at 30 % of checks.
+        Box::new(move || {
+            let dcfg = DamonConfig::default();
+            let thr = (dcfg.checks_per_interval as f64 * 0.3) as u32;
+            series(opts, "DAMON", Damon::new(dcfg), move |d| d.hot_ranges_above(thr.max(1)))
+        }),
+        // Thermostat: protection-fault profiler.
+        Box::new(move || series(opts, "Thermostat", Thermostat::new(0), |t| t.hot_ranges())),
+        // AutoTiering: random scan windows.
+        Box::new(move || series(opts, "AutoTiering", AutoTiering::new(0), |a| a.hot_ranges())),
+    ];
+    run_all(jobs)
 }
 
 /// Renders Fig. 1.

@@ -32,12 +32,25 @@ pub fn run(opts: &Opts) -> String {
     headers.extend(ALPHAS.iter().map(|a| format!("alpha={a}")));
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
     let mut table = TextTable::new(&header_refs);
+    // The full workload × alpha sweep is independent runs; fan it out on
+    // the worker pool, then assemble rows (each alpha is normalized to
+    // the same workload's alpha = 1/2 run, which is part of the sweep).
+    let mut jobs = Vec::new();
     for wl in WORKLOADS {
-        let base = run_one(opts, wl, 0.5);
+        for &a in &ALPHAS {
+            jobs.push((wl, a));
+        }
+    }
+    let times = crate::runpool::map_parallel(jobs, |(wl, a)| run_one(opts, wl, a));
+    for (w, wl) in WORKLOADS.iter().enumerate() {
+        let at = |a: f64| {
+            let i = ALPHAS.iter().position(|&x| (x - a).abs() < 1e-9).expect("alpha in sweep");
+            times[w * ALPHAS.len() + i]
+        };
+        let base = at(0.5);
         let mut row = vec![wl.to_string()];
         for &a in &ALPHAS {
-            let t = if (a - 0.5).abs() < 1e-9 { base } else { run_one(opts, wl, a) };
-            row.push(f(base / t));
+            row.push(f(base / at(a)));
         }
         table.row(row);
     }

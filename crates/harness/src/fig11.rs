@@ -88,12 +88,26 @@ pub fn run(opts: &Opts) -> String {
         "Fig. 11 — Migration microbenchmark: {} array, tier 1 -> tier N, critical-path time\n\n",
         tiersim::addr::fmt_bytes(array_bytes(opts))
     );
-    for (dst, label) in [(1u16, "tier 1 -> tier 2"), (2, "tier 1 -> tier 3"), (3, "tier 1 -> tier 4")] {
+    // Every (mechanism, destination, pattern) cell is an independent
+    // fresh-machine measurement; fan the 27 of them out on the pool.
+    let mut jobs = Vec::new();
+    for &dst in &[1u16, 2, 3] {
+        for pattern in [Pattern::R, Pattern::RW, Pattern::W] {
+            for mech in ["move_pages", "nimble", "mtm"] {
+                jobs.push((mech, dst, pattern));
+            }
+        }
+    }
+    let cells = crate::runpool::map_parallel(jobs, |(mech, dst, pattern)| {
+        measure_one(opts, mech, dst, pattern)
+    });
+    let mut cells = cells.into_iter();
+    for label in ["tier 1 -> tier 2", "tier 1 -> tier 3", "tier 1 -> tier 4"] {
         let mut table = TextTable::new(&["pattern", "move_pages()", "Nimble", "MTM", "MTM vs move_pages"]);
         for pattern in [Pattern::R, Pattern::RW, Pattern::W] {
-            let mp = measure_one(opts, "move_pages", dst, pattern);
-            let nb = measure_one(opts, "nimble", dst, pattern);
-            let mt = measure_one(opts, "mtm", dst, pattern);
+            let mp = cells.next().expect("cell for move_pages");
+            let nb = cells.next().expect("cell for nimble");
+            let mt = cells.next().expect("cell for mtm");
             table.row(vec![
                 pattern.label().to_string(),
                 dur(mp),

@@ -53,11 +53,18 @@ pub fn run(opts: &Opts) -> String {
     ]);
     let mut hemem24_drop = (0.0f64, 0.0f64);
     let mut mtm24_drop = (0.0f64, 0.0f64);
-    for ratio in RATIOS {
-        let h16 = run_one(opts, "hemem", 16, ratio);
-        let h24 = run_one(opts, "hemem", 24, ratio);
-        let m16 = run_one(opts, "MTM", 16, ratio);
-        let m24 = run_one(opts, "MTM", 24, ratio);
+    // 4 configurations × 5 ratios, all independent: run on the pool.
+    let mut jobs = Vec::new();
+    for &ratio in &RATIOS {
+        for (mgr, threads) in [("hemem", 16), ("hemem", 24), ("MTM", 16), ("MTM", 24)] {
+            jobs.push((mgr, threads, ratio));
+        }
+    }
+    let gups = crate::runpool::map_parallel(jobs, |(mgr, threads, ratio)| {
+        run_one(opts, mgr, threads, ratio)
+    });
+    for (i, &ratio) in RATIOS.iter().enumerate() {
+        let [h16, h24, m16, m24] = [gups[i * 4], gups[i * 4 + 1], gups[i * 4 + 2], gups[i * 4 + 3]];
         if (ratio - 0.5).abs() < 1e-9 {
             hemem24_drop.0 = h24;
             mtm24_drop.0 = m24;

@@ -69,17 +69,27 @@ fn heat_strip(heat: &[(tiersim::VirtAddr, u64)], table: VaRange, buckets: usize)
 
 /// Renders Fig. 6.
 pub fn run(opts: &Opts) -> String {
-    let mut cfg = MtmConfig::default();
-    cfg.promote_bytes = 0;
-    let scans = cfg.num_scans as f64;
-    let (mtm, wl) = run_profiler(opts, MtmManager::new(cfg, 2), move |m| {
-        m.profiler().hot_ranges_above(scans * 0.5)
-    });
-    let dcfg = DamonConfig::default();
-    let thr = ((dcfg.checks_per_interval as f64) * 0.3) as u32;
-    let (damon, _) = run_profiler(opts, Damon::new(dcfg), move |d| {
-        d.hot_ranges_above(thr.max(1))
-    });
+    // The two profiler runs are independent simulations; run them on the
+    // worker pool.
+    use crate::runpool::{run_all, Job};
+    let jobs: Vec<Job<'_, (Detection, Gups)>> = vec![
+        Box::new(move || {
+            let mut cfg = MtmConfig::default();
+            cfg.promote_bytes = 0;
+            let scans = cfg.num_scans as f64;
+            run_profiler(opts, MtmManager::new(cfg, 2), move |m| {
+                m.profiler().hot_ranges_above(scans * 0.5)
+            })
+        }),
+        Box::new(move || {
+            let dcfg = DamonConfig::default();
+            let thr = ((dcfg.checks_per_interval as f64) * 0.3) as u32;
+            run_profiler(opts, Damon::new(dcfg), move |d| d.hot_ranges_above(thr.max(1)))
+        }),
+    ];
+    let mut out = run_all(jobs).into_iter();
+    let (mtm, wl) = out.next().expect("MTM run");
+    let (damon, _) = out.next().expect("DAMON run");
 
     let objects =
         [("A (indexes)", wl.index_range()), ("B (hot-set info)", wl.hotinfo_range()), ("C (hot set)", wl.hot_band())];

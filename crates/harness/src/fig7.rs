@@ -4,10 +4,11 @@
 //! tiered-AutoNUMA.
 
 use crate::opts::Opts;
-use crate::runs::cached_run;
+use crate::runs::{cached_run, prewarm};
 use crate::tablefmt::{dur, TextTable};
 
-const SYSTEMS: [&str; 8] = [
+/// The systems of the ablation study (all run on VoltDB).
+pub const SYSTEMS: [&str; 8] = [
     "thermostat",
     "autonuma",
     "MTM",
@@ -20,6 +21,8 @@ const SYSTEMS: [&str; 8] = [
 
 /// Renders Fig. 7.
 pub fn run(opts: &Opts) -> String {
+    let pairs: Vec<(&str, &str)> = SYSTEMS.iter().map(|&s| (s, "VoltDB")).collect();
+    prewarm(&pairs, opts);
     let mut table =
         TextTable::new(&["system", "app", "profiling", "migration", "total", "vs MTM"]);
     let mtm_nspo = cached_run("MTM", "VoltDB", opts).ns_per_op_steady();

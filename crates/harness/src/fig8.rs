@@ -14,11 +14,11 @@ use crate::tablefmt::{dur, TextTable};
 /// The sweep points of the paper.
 pub const TARGETS: [f64; 5] = [0.01, 0.02, 0.03, 0.05, 0.10];
 
-/// Runs the sweep and returns `(target, app, profiling, migration)` rows,
-/// each normalized to 1M transactions of work.
+/// Runs the sweep (each target an independent run, executed in parallel
+/// on the worker pool) and returns `(target, app, profiling, migration)`
+/// rows in sweep order, each normalized to 1M transactions of work.
 pub fn measure(opts: &Opts) -> Vec<(f64, f64, f64, f64)> {
-    let mut out = Vec::new();
-    for target in TARGETS {
+    crate::runpool::map_parallel(TARGETS.to_vec(), |target| {
         let topo = optane_four_tier(opts.scale);
         let mut mc = MachineConfig::new(topo.clone(), opts.threads);
         mc.interval_ns = opts.interval_ns / 2.0; // The paper's 5 s interval.
@@ -31,9 +31,8 @@ pub fn measure(opts: &Opts) -> Vec<(f64, f64, f64, f64)> {
         let r = run_scenario(&mut machine, &mut mgr, wl.as_mut(), opts.intervals);
         let (b, ops) = r.steady();
         let k = 1e6 / ops.max(1) as f64;
-        out.push((target, b.app_ns * k, b.profiling_ns * k, b.migration_ns * k));
-    }
-    out
+        (target, b.app_ns * k, b.profiling_ns * k, b.migration_ns * k)
+    })
 }
 
 /// Renders Fig. 8.

@@ -26,10 +26,10 @@ pub const GRID: [(u32, f64, f64); 12] = [
     (6, 6.0, 0.0),
 ];
 
-/// Runs the grid; returns `(num_scans, tau_m, tau_s, total_ns)`.
+/// Runs the grid (independent runs, in parallel on the worker pool);
+/// returns `(num_scans, tau_m, tau_s, total_ns)` in grid order.
 pub fn measure(opts: &Opts) -> Vec<(u32, f64, f64, f64)> {
-    let mut out = Vec::new();
-    for (scans, tau_m, tau_s) in GRID {
+    crate::runpool::map_parallel(GRID.to_vec(), |(scans, tau_m, tau_s)| {
         let topo = optane_four_tier(opts.scale);
         let mut mc = MachineConfig::new(topo.clone(), opts.threads);
         mc.interval_ns = opts.interval_ns;
@@ -41,9 +41,8 @@ pub fn measure(opts: &Opts) -> Vec<(u32, f64, f64, f64)> {
         let mut wl = mtm_workloads::build_paper_workload("VoltDB", opts.scale, opts.threads)
             .expect("VoltDB exists");
         let r = run_scenario(&mut machine, &mut mgr, wl.as_mut(), opts.intervals);
-        out.push((scans, tau_m, tau_s, r.ns_per_op_steady() * 1e6));
-    }
-    out
+        (scans, tau_m, tau_s, r.ns_per_op_steady() * 1e6)
+    })
 }
 
 /// Renders Fig. 9.

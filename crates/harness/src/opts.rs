@@ -5,6 +5,26 @@
 //! `MTM_QUICK=1` (small, fast runs), `MTM_SCALE`, `MTM_THREADS`,
 //! `MTM_INTERVALS`, `MTM_INTERVAL_NS`.
 
+/// Applies one `NAME=value` override to `dst`; on a parse failure leaves
+/// `dst` untouched and returns the warning line to print.
+fn apply_override<T: std::str::FromStr>(
+    name: &str,
+    raw: Option<String>,
+    dst: &mut T,
+) -> Option<String> {
+    let raw = raw?;
+    match raw.parse() {
+        Ok(v) => {
+            *dst = v;
+            None
+        }
+        Err(_) => Some(format!(
+            "warning: ignoring {name}={raw:?} (not a valid {})",
+            std::any::type_name::<T>()
+        )),
+    }
+}
+
 /// Options shared by every experiment.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Opts {
@@ -33,32 +53,30 @@ impl Opts {
         Opts { scale: 4096, threads: 4, intervals: 12, interval_ns: 1.0e6, quick: true }
     }
 
-    /// Reads options from the environment.
+    /// Reads options from the environment. Unparsable overrides are
+    /// **not** silently ignored: each one prints a `warning:` line on
+    /// stderr (and `scripts/verify.sh` fails the smoke run on any such
+    /// line), so a typo'd `MTM_SCALE` can't quietly run the wrong
+    /// experiment.
     pub fn from_env() -> Opts {
-        let mut o = if std::env::var("MTM_QUICK").map(|v| v == "1").unwrap_or(false) {
-            Opts::quick()
-        } else {
-            Opts::default()
+        let mut o = match std::env::var("MTM_QUICK").ok().as_deref() {
+            Some("1") => Opts::quick(),
+            Some("0") | Some("") | None => Opts::default(),
+            Some(other) => {
+                eprintln!("warning: ignoring MTM_QUICK={other:?} (expected 0 or 1)");
+                Opts::default()
+            }
         };
-        if let Ok(v) = std::env::var("MTM_SCALE") {
-            if let Ok(v) = v.parse() {
-                o.scale = v;
-            }
-        }
-        if let Ok(v) = std::env::var("MTM_THREADS") {
-            if let Ok(v) = v.parse() {
-                o.threads = v;
-            }
-        }
-        if let Ok(v) = std::env::var("MTM_INTERVALS") {
-            if let Ok(v) = v.parse() {
-                o.intervals = v;
-            }
-        }
-        if let Ok(v) = std::env::var("MTM_INTERVAL_NS") {
-            if let Ok(v) = v.parse() {
-                o.interval_ns = v;
-            }
+        for w in [
+            apply_override("MTM_SCALE", std::env::var("MTM_SCALE").ok(), &mut o.scale),
+            apply_override("MTM_THREADS", std::env::var("MTM_THREADS").ok(), &mut o.threads),
+            apply_override("MTM_INTERVALS", std::env::var("MTM_INTERVALS").ok(), &mut o.intervals),
+            apply_override("MTM_INTERVAL_NS", std::env::var("MTM_INTERVAL_NS").ok(), &mut o.interval_ns),
+        ]
+        .into_iter()
+        .flatten()
+        {
+            eprintln!("{w}");
         }
         o
     }
@@ -91,6 +109,28 @@ mod tests {
         assert!(q.scale > d.scale);
         assert!(q.intervals < d.intervals);
         assert_ne!(d.key(), q.key());
+    }
+
+    #[test]
+    fn override_parses_or_warns() {
+        let mut scale = 256u64;
+        // Unset: untouched, no warning.
+        assert_eq!(apply_override("MTM_SCALE", None, &mut scale), None);
+        assert_eq!(scale, 256);
+        // Valid: applied, no warning.
+        assert_eq!(apply_override("MTM_SCALE", Some("64".into()), &mut scale), None);
+        assert_eq!(scale, 64);
+        // Typo: untouched, loud.
+        let w = apply_override("MTM_SCALE", Some("6 4".into()), &mut scale)
+            .expect("unparsable override warns");
+        assert!(w.starts_with("warning: ignoring MTM_SCALE=\"6 4\""), "{w}");
+        assert_eq!(scale, 64);
+        // Same machinery for floats.
+        let mut ns = 2.0e6f64;
+        assert_eq!(apply_override("MTM_INTERVAL_NS", Some("1e6".into()), &mut ns), None);
+        assert_eq!(ns, 1.0e6);
+        assert!(apply_override("MTM_INTERVAL_NS", Some("fast".into()), &mut ns).is_some());
+        assert_eq!(ns, 1.0e6);
     }
 
     #[test]

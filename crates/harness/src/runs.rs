@@ -1,7 +1,19 @@
 //! Scenario construction and cached execution of the evaluation matrix.
+//!
+//! Runs are memoized in a process-wide **single-flight** cache: the first
+//! caller of a `(manager, workload, opts)` key executes the run while any
+//! concurrent caller of the same key blocks on a `Condvar` until that one
+//! execution publishes its report. Distinct keys execute fully in
+//! parallel. [`prewarm`] schedules a whole matrix of keys onto the
+//! [`crate::runpool`] worker pool up front, so experiments that later read
+//! the same runs (Fig. 4/5, Tables 3/5/7, Fig. 7, ...) render from warm
+//! cache hits.
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
 
 use mtm::{MtmConfig, MtmManager};
 use mtm_baselines::{build_baseline, hemem_pebs_config};
@@ -86,24 +98,167 @@ pub fn run_pair_on(manager: &str, workload: &str, opts: &Opts, topo: Topology) -
     run_scenario(&mut machine, mgr.as_mut(), wl.as_mut(), opts.intervals)
 }
 
-type Cache = Mutex<HashMap<((u64, usize, u64, u64), String, String), Arc<RunReport>>>;
+type Key = ((u64, usize, u64, u64), String, String);
+
+/// One cache entry. `Pending` while the owning caller executes the run,
+/// `Ready` once the report is published, `Abandoned` if the owner
+/// panicked (waiters then retry and one of them becomes the new owner).
+enum SlotState {
+    Pending,
+    Ready(Arc<RunReport>),
+    Abandoned,
+}
+
+struct Slot {
+    state: Mutex<SlotState>,
+    cv: Condvar,
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot { state: Mutex::new(SlotState::Pending), cv: Condvar::new() }
+    }
+}
+
+type Cache = Mutex<HashMap<Key, Arc<Slot>>>;
 
 fn cache() -> &'static Cache {
     static CACHE: OnceLock<Cache> = OnceLock::new();
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
+/// Cache-effectiveness counters for the single-flight run cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunCacheStats {
+    /// Runs actually executed (cache misses).
+    pub misses: u64,
+    /// Calls answered from a completed run.
+    pub hits: u64,
+    /// Calls that blocked on a run another caller was already executing
+    /// (the work the single-flight design deduplicates).
+    pub coalesced: u64,
+}
+
+static MISSES: AtomicU64 = AtomicU64::new(0);
+static HITS: AtomicU64 = AtomicU64::new(0);
+static COALESCED: AtomicU64 = AtomicU64::new(0);
+
+/// A snapshot of the process-wide run-cache counters.
+pub fn run_cache_stats() -> RunCacheStats {
+    RunCacheStats {
+        misses: MISSES.load(Ordering::Relaxed),
+        hits: HITS.load(Ordering::Relaxed),
+        coalesced: COALESCED.load(Ordering::Relaxed),
+    }
+}
+
+/// Marks the slot abandoned (and evicts it) if the owner unwinds before
+/// publishing a report, so waiters wake up and retry instead of hanging.
+struct OwnerGuard<'a> {
+    key: &'a Key,
+    slot: &'a Arc<Slot>,
+    published: bool,
+}
+
+impl Drop for OwnerGuard<'_> {
+    fn drop(&mut self) {
+        if self.published {
+            return;
+        }
+        cache().lock().expect("run cache poisoned").remove(self.key);
+        *self.slot.state.lock().expect("run slot poisoned") = SlotState::Abandoned;
+        self.slot.cv.notify_all();
+    }
+}
+
 /// Runs (or returns the cached result of) one pair on the default
 /// topology. Several experiments share the same underlying runs; the
 /// cache keeps `all` from re-running them.
+///
+/// The cache is single-flight: concurrent callers of the same key block
+/// until the one execution finishes, so a key is never run twice no
+/// matter how many threads ask for it.
 pub fn cached_run(manager: &str, workload: &str, opts: &Opts) -> Arc<RunReport> {
-    let key = (opts.key(), manager.to_string(), workload.to_string());
-    if let Some(hit) = cache().lock().expect("run cache poisoned").get(&key) {
-        return hit.clone();
+    cached_run_traced(manager, workload, opts).0
+}
+
+/// Like [`cached_run`], but also reports whether *this* call executed the
+/// underlying run (`true` exactly once per key).
+pub fn cached_run_traced(manager: &str, workload: &str, opts: &Opts) -> (Arc<RunReport>, bool) {
+    let key: Key = (opts.key(), manager.to_string(), workload.to_string());
+    loop {
+        let (slot, owner) = {
+            let mut map = cache().lock().expect("run cache poisoned");
+            match map.entry(key.clone()) {
+                Entry::Occupied(e) => (e.get().clone(), false),
+                Entry::Vacant(v) => {
+                    let slot = Arc::new(Slot::new());
+                    v.insert(slot.clone());
+                    (slot, true)
+                }
+            }
+        };
+        if owner {
+            MISSES.fetch_add(1, Ordering::Relaxed);
+            eprintln!("[run] {manager}/{workload}: started");
+            let t0 = Instant::now();
+            let mut guard = OwnerGuard { key: &key, slot: &slot, published: false };
+            let report = Arc::new(run_pair(manager, workload, opts));
+            *slot.state.lock().expect("run slot poisoned") = SlotState::Ready(report.clone());
+            guard.published = true;
+            slot.cv.notify_all();
+            eprintln!(
+                "[run] {manager}/{workload}: finished in {:.2}s",
+                t0.elapsed().as_secs_f64()
+            );
+            return (report, true);
+        }
+        let mut state = slot.state.lock().expect("run slot poisoned");
+        if let SlotState::Ready(r) = &*state {
+            HITS.fetch_add(1, Ordering::Relaxed);
+            return (r.clone(), false);
+        }
+        if matches!(*state, SlotState::Pending) {
+            COALESCED.fetch_add(1, Ordering::Relaxed);
+        }
+        loop {
+            match &*state {
+                SlotState::Ready(r) => return (r.clone(), false),
+                SlotState::Abandoned => break, // owner panicked; retry from the top
+                SlotState::Pending => {
+                    state = slot.cv.wait(state).expect("run slot poisoned");
+                }
+            }
+        }
     }
-    let report = Arc::new(run_pair(manager, workload, opts));
-    cache().lock().expect("run cache poisoned").insert(key, report.clone());
-    report
+}
+
+/// Schedules every `(manager, workload)` pair onto the worker pool and
+/// blocks until all of them are in the cache. Duplicate pairs (and pairs
+/// racing with other threads) are deduplicated by the single-flight
+/// cache, so prewarming is always safe to call, from anywhere, with an
+/// overlapping matrix.
+pub fn prewarm(pairs: &[(&str, &str)], opts: &Opts) {
+    let mut todo: Vec<(String, String)> = Vec::new();
+    for &(m, w) in pairs {
+        let pair = (m.to_string(), w.to_string());
+        if !todo.contains(&pair) {
+            todo.push(pair);
+        }
+    }
+    if todo.is_empty() {
+        return;
+    }
+    let t0 = Instant::now();
+    let n = todo.len();
+    let workers = crate::runpool::jobs().min(n);
+    crate::runpool::map_parallel(todo, |(m, w)| {
+        cached_run(&m, &w, opts);
+    });
+    eprintln!(
+        "[prewarm] {n} pair(s) ready in {:.2}s on {workers} worker(s)",
+        t0.elapsed().as_secs_f64()
+    );
 }
 
 #[cfg(test)]

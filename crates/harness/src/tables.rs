@@ -96,8 +96,14 @@ pub fn table4(opts: &Opts) -> String {
         }
         (times, total_ops)
     };
-    let (slow_times, slow_ops) = run_one(InitialPlacement::SlowLocalFirst);
-    let (fast_times, _) = run_one(InitialPlacement::FastLocalFirst);
+    // The two placements are independent runs; use the worker pool.
+    let mut results = crate::runpool::map_parallel(
+        vec![InitialPlacement::SlowLocalFirst, InitialPlacement::FastLocalFirst],
+        |p| run_one(p),
+    )
+    .into_iter();
+    let (slow_times, slow_ops) = results.next().expect("slow-first run");
+    let (fast_times, _) = results.next().expect("fast-first run");
     let mut table = TextTable::new(&["updates (fraction of run)", "slow tier first", "first-touch (fast first)", "gap"]);
     for k in 0..milestones {
         let gap = (slow_times[k] - fast_times[k]) / fast_times[k].max(1.0) * 100.0;
@@ -120,19 +126,19 @@ pub fn table6(opts: &Opts) -> String {
     const MANAGERS: [&str; 3] = ["autonuma", "autotiering", "MTM"];
     let topo = optane_four_tier(opts.scale);
     let mut table = TextTable::new(&["system", "tier 1", "tier 2", "tier 3", "tier 4"]);
-    for mgr in MANAGERS {
-        // The paper pins all eight VoltDB clients to one processor; the
-        // tier view below is that processor's.
-        let r = {
-            let mut machine_cfg =
-                tiersim::machine::MachineConfig::new(topo.clone(), opts.threads).pin_all_to(0);
-            machine_cfg.interval_ns = opts.interval_ns;
-            let mut machine = tiersim::machine::Machine::new(machine_cfg);
-            let mut mgr_box = crate::runs::build_manager(mgr, opts, &topo);
-            let mut wl = mtm_workloads::build_paper_workload("VoltDB", opts.scale, opts.threads)
-                .expect("VoltDB exists");
-            tiersim::sim::run_scenario(&mut machine, mgr_box.as_mut(), wl.as_mut(), opts.intervals)
-        };
+    // The paper pins all eight VoltDB clients to one processor; the tier
+    // view below is that processor's. The three managers run in parallel.
+    let reports = crate::runpool::map_parallel(MANAGERS.to_vec(), |mgr| {
+        let mut machine_cfg =
+            tiersim::machine::MachineConfig::new(topo.clone(), opts.threads).pin_all_to(0);
+        machine_cfg.interval_ns = opts.interval_ns;
+        let mut machine = tiersim::machine::Machine::new(machine_cfg);
+        let mut mgr_box = crate::runs::build_manager(mgr, opts, &topo);
+        let mut wl = mtm_workloads::build_paper_workload("VoltDB", opts.scale, opts.threads)
+            .expect("VoltDB exists");
+        tiersim::sim::run_scenario(&mut machine, mgr_box.as_mut(), wl.as_mut(), opts.intervals)
+    });
+    for r in reports {
         let mut row = vec![r.manager.clone()];
         for rank in 0..4 {
             let n = r.accesses_at_rank(&topo, 0, rank);

@@ -112,12 +112,23 @@ pub fn rmat(params: RmatParams) -> Csr {
 }
 
 /// Returns a process-wide cached graph for the given parameters.
+///
+/// The cache is single-flight and parallel-run friendly: the map lock is
+/// held only long enough to fetch the per-key slot, never across graph
+/// generation, so concurrent runs generating *different* graphs proceed
+/// in parallel while concurrent requests for the *same* graph block on
+/// one generation (via `OnceLock::get_or_init`) instead of duplicating
+/// it. Callers get their own `Arc` clone; no lock is held across a run.
 pub fn cached_rmat(params: RmatParams) -> Arc<Csr> {
-    static CACHE: OnceLock<Mutex<HashMap<(u32, u64, u64), Arc<Csr>>>> = OnceLock::new();
+    type Slot = Arc<OnceLock<Arc<Csr>>>;
+    static CACHE: OnceLock<Mutex<HashMap<(u32, u64, u64), Slot>>> = OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
     let key = (params.vertices, params.edges, params.seed);
-    let mut guard = cache.lock().expect("graph cache poisoned");
-    guard.entry(key).or_insert_with(|| Arc::new(rmat(params))).clone()
+    let slot: Slot = {
+        let mut guard = cache.lock().expect("graph cache poisoned");
+        guard.entry(key).or_default().clone()
+    };
+    slot.get_or_init(|| Arc::new(rmat(params))).clone()
 }
 
 #[cfg(test)]
@@ -170,6 +181,17 @@ mod tests {
         let a = cached_rmat(p);
         let b = cached_rmat(p);
         assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn cache_is_single_flight_under_contention() {
+        let p = RmatParams { vertices: 512, edges: 4096, seed: 99 };
+        let handles: Vec<_> =
+            (0..8).map(|_| std::thread::spawn(move || cached_rmat(p))).collect();
+        let first = cached_rmat(p);
+        for h in handles {
+            assert!(Arc::ptr_eq(&h.join().expect("no panic"), &first));
+        }
     }
 
     #[test]

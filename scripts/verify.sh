@@ -18,4 +18,22 @@ if [[ "${1:-}" != "--no-bench" ]]; then
     cargo bench -p mtm-bench -- --quick
 fi
 
+# Parallel quick-mode smoke: run the whole harness (bin/all) on 4 workers.
+# This exercises the worker pool, the single-flight run cache and the
+# stderr diagnostics end to end. Any `warning:` line — an ignored env
+# override, an n/a experiment row, a failed result write — fails verify.
+echo "==> quick harness smoke (MTM_QUICK=1 MTM_JOBS=4)"
+smoke_err=$(mktemp)
+trap 'rm -f "$smoke_err"' EXIT
+if ! MTM_QUICK=1 MTM_JOBS=4 cargo run --release -q -p mtm-harness --bin all \
+        >/dev/null 2>"$smoke_err"; then
+    cat "$smoke_err" >&2
+    echo "verify: FAIL (bin/all smoke run failed)"
+    exit 1
+fi
+if grep -E '^warning:' "$smoke_err"; then
+    echo "verify: FAIL (warning lines on harness stderr, see above)"
+    exit 1
+fi
+
 echo "verify: OK"
