@@ -112,7 +112,13 @@ impl AutoNuma {
         }
         let Some((_, chunk)) = best else { return false };
         let Some(down) = one_step_down(m, from, node) else { return false };
-        migrate_sync(m, chunk, down, node) > 0
+        let moved = migrate_sync(m, chunk, down, node);
+        if moved > 0 {
+            m.obs_mut().reg.counter_add(obs::names::DEMOTIONS, 1);
+            m.obs_mut().reg.counter_add(obs::names::DEMOTED_BYTES, moved);
+            m.record_event(obs::EventKind::Demotion { bytes: moved, src: from, dst: down });
+        }
+        moved > 0
     }
 }
 
@@ -155,6 +161,10 @@ impl MemoryManager for AutoNuma {
         // Tier-by-tier promotion, same-socket preference, rate-limited.
         let mut budget = self.promote_budget;
         let mut promoted = 0u64;
+        // Per (src, dst) pair: (pages, bytes), aggregated into one
+        // telemetry event per pair per interval.
+        let mut moves: std::collections::BTreeMap<(u16, u16), (u64, u64)> =
+            std::collections::BTreeMap::new();
         for (page, node) in hot_pages {
             if budget < PAGE_SIZE_4K {
                 break;
@@ -170,6 +180,16 @@ impl MemoryManager for AutoNuma {
             let moved = migrate_sync(m, range, dest, node);
             budget = budget.saturating_sub(moved.max(PAGE_SIZE_4K));
             promoted += moved;
+            if moved > 0 {
+                let e = moves.entry((cur, dest)).or_insert((0, 0));
+                e.0 += 1;
+                e.1 += moved;
+            }
+        }
+        for (&(src, dst), &(pages, bytes)) in &moves {
+            m.obs_mut().reg.counter_add(obs::names::PROMOTIONS, pages);
+            m.obs_mut().reg.counter_add(obs::names::PROMOTED_BYTES, bytes);
+            m.record_event(obs::EventKind::Promotion { bytes, src, dst });
         }
         // Patched: adjust the hot threshold to track the rate limit.
         if self.patched {

@@ -108,6 +108,8 @@ impl MemoryManager for HeMem {
 
         // Promote hot pages resident in PM into DRAM, rate-limited.
         let mut budget = self.promote_budget;
+        let (mut promoted_bytes, mut promotions) = (0u64, 0u64);
+        let (mut demoted_bytes, mut demotions) = (0u64, 0u64);
         for page in hot {
             if budget < PAGE_SIZE_4K {
                 break;
@@ -127,7 +129,13 @@ impl MemoryManager for HeMem {
                 coldest.sort_unstable();
                 let mut freed = 0u64;
                 for &(_, p) in coldest.iter().take(256) {
-                    freed += migrate_sync(m, VaRange::from_len(VirtAddr(p), PAGE_SIZE_4K), self.pm, 0);
+                    let moved =
+                        migrate_sync(m, VaRange::from_len(VirtAddr(p), PAGE_SIZE_4K), self.pm, 0);
+                    if moved > 0 {
+                        demoted_bytes += moved;
+                        demotions += 1;
+                    }
+                    freed += moved;
                     if freed >= 64 * PAGE_SIZE_4K {
                         break;
                     }
@@ -137,6 +145,10 @@ impl MemoryManager for HeMem {
                 }
             }
             let moved = migrate_sync(m, VaRange::from_len(va, PAGE_SIZE_4K), self.dram, 0);
+            if moved > 0 {
+                promoted_bytes += moved;
+                promotions += 1;
+            }
             budget = budget.saturating_sub(moved.max(PAGE_SIZE_4K));
         }
 
@@ -150,8 +162,30 @@ impl MemoryManager for HeMem {
                 .collect();
             coldest.sort_unstable();
             for &(_, p) in coldest.iter().take(64) {
-                migrate_sync(m, VaRange::from_len(VirtAddr(p), PAGE_SIZE_4K), self.pm, 0);
+                let moved = migrate_sync(m, VaRange::from_len(VirtAddr(p), PAGE_SIZE_4K), self.pm, 0);
+                if moved > 0 {
+                    demoted_bytes += moved;
+                    demotions += 1;
+                }
             }
+        }
+        if promotions > 0 {
+            m.obs_mut().reg.counter_add(obs::names::PROMOTIONS, promotions);
+            m.obs_mut().reg.counter_add(obs::names::PROMOTED_BYTES, promoted_bytes);
+            m.record_event(obs::EventKind::Promotion {
+                bytes: promoted_bytes,
+                src: self.pm,
+                dst: self.dram,
+            });
+        }
+        if demotions > 0 {
+            m.obs_mut().reg.counter_add(obs::names::DEMOTIONS, demotions);
+            m.obs_mut().reg.counter_add(obs::names::DEMOTED_BYTES, demoted_bytes);
+            m.record_event(obs::EventKind::Demotion {
+                bytes: demoted_bytes,
+                src: self.dram,
+                dst: self.pm,
+            });
         }
 
         // Cooling.

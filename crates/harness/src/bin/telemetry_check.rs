@@ -1,0 +1,70 @@
+//! Validates emitted telemetry: every `results/telemetry/*.json` (or the
+//! directory given as the first argument) must parse as JSON and carry
+//! the required top-level keys of the telemetry schema. Exits non-zero
+//! on any malformed file, or when the directory holds no telemetry at
+//! all — `scripts/verify.sh` runs this after a `MTM_TELEMETRY=1` smoke.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn check_file(path: &std::path::Path) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("unreadable: {e}"))?;
+    let json = obs::json::parse(&text).map_err(|e| format!("invalid JSON: {e}"))?;
+    for key in obs::snapshot::REQUIRED_KEYS {
+        if json.get(key).is_none() {
+            return Err(format!("missing required key {key:?}"));
+        }
+    }
+    let events = json.get("events").and_then(|v| v.as_arr()).ok_or("events is not an array")?;
+    for ev in events {
+        if ev.get("kind").and_then(|k| k.as_str()).is_none() {
+            return Err("event without a string \"kind\"".into());
+        }
+    }
+    let series = json.get("series").ok_or("series missing")?;
+    for field in ["wall_ns", "overhead_pct", "migrated_bytes", "occupancy"] {
+        if series.get(field).and_then(|v| v.as_arr()).is_none() {
+            return Err(format!("series.{field} is not an array"));
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let dir = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(mtm_harness::metrics::TELEMETRY_DIR));
+    let entries = match std::fs::read_dir(&dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("telemetry_check: cannot read {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut files: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().map(|x| x == "json").unwrap_or(false))
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        eprintln!("telemetry_check: no .json files under {}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    let mut bad = 0usize;
+    for f in &files {
+        match check_file(f) {
+            Ok(()) => println!("ok {}", f.display()),
+            Err(e) => {
+                eprintln!("telemetry_check: {}: {e}", f.display());
+                bad += 1;
+            }
+        }
+    }
+    if bad > 0 {
+        eprintln!("telemetry_check: {bad}/{} file(s) failed", files.len());
+        return ExitCode::FAILURE;
+    }
+    println!("telemetry_check: {} file(s) valid", files.len());
+    ExitCode::SUCCESS
+}

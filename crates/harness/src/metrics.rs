@@ -1,11 +1,67 @@
-//! Profiling-quality metrics: recall and accuracy over address ranges.
+//! Profiling-quality metrics: recall and accuracy over address ranges,
+//! plus telemetry collection and export for cached runs.
 //!
 //! Fig. 1 of the paper scores a profiler by *recall* (bytes of truly hot
 //! pages it detected / bytes of truly hot pages) and *accuracy* (bytes of
 //! truly hot pages it detected / bytes it detected). Both reduce to the
 //! intersection size of two sets of virtual ranges.
+//!
+//! The telemetry half serializes each run's [`obs::RunTelemetry`] to
+//! `results/telemetry/<manager>_<workload>.json` when `MTM_TELEMETRY=1`;
+//! with the variable unset nothing is written and the text reports are
+//! byte-identical to an uninstrumented build.
+
+use std::path::{Path, PathBuf};
 
 use tiersim::addr::VaRange;
+
+/// Whether telemetry export is enabled (`MTM_TELEMETRY=1`).
+pub fn telemetry_enabled() -> bool {
+    std::env::var("MTM_TELEMETRY").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Default directory telemetry JSON is written under.
+pub const TELEMETRY_DIR: &str = "results/telemetry";
+
+/// Makes a manager/workload name filesystem-safe (`MTM-w/o-AMR` contains
+/// a path separator; `MTM:fast-first` a drive separator on Windows).
+pub fn sanitize_name(name: &str) -> String {
+    name.chars()
+        .map(|c| match c {
+            '/' | '\\' | ':' | ' ' => '-',
+            _ => c,
+        })
+        .collect()
+}
+
+/// The file a run's telemetry lands in under `dir`.
+pub fn telemetry_path(dir: &Path, manager: &str, workload: &str) -> PathBuf {
+    dir.join(format!("{}_{}.json", sanitize_name(manager), sanitize_name(workload)))
+}
+
+/// Serializes one run's telemetry as JSON under `dir`, creating the
+/// directory as needed. Returns the path written.
+pub fn emit_telemetry_into(dir: &Path, t: &obs::RunTelemetry) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = telemetry_path(dir, &t.manager, &t.workload);
+    std::fs::write(&path, t.to_json())?;
+    Ok(path)
+}
+
+/// Serializes one run's telemetry under [`TELEMETRY_DIR`].
+pub fn emit_telemetry(t: &obs::RunTelemetry) -> std::io::Result<PathBuf> {
+    emit_telemetry_into(Path::new(TELEMETRY_DIR), t)
+}
+
+/// Merges the registries of several runs (counters and histograms sum,
+/// gauges keep their maxima) into one matrix-wide summary registry.
+pub fn merge_registries<'a>(runs: impl IntoIterator<Item = &'a obs::RunTelemetry>) -> obs::Registry {
+    let mut merged = obs::Registry::default();
+    for t in runs {
+        merged.merge_from(&t.registry);
+    }
+    merged
+}
 
 /// Normalizes a range set: sorted, merged, no overlaps.
 pub fn normalize(mut ranges: Vec<VaRange>) -> Vec<VaRange> {
@@ -90,6 +146,49 @@ mod tests {
         assert_eq!(intersection_bytes(&[r(0, 10)], &[r(5, 15)]), 5);
         assert_eq!(intersection_bytes(&[r(0, 10)], &[r(10, 20)]), 0);
         assert_eq!(intersection_bytes(&[r(0, 10), r(20, 30)], &[r(5, 25)]), 10);
+    }
+
+    #[test]
+    fn sanitize_makes_names_path_safe() {
+        assert_eq!(sanitize_name("MTM-w/o-AMR"), "MTM-w-o-AMR");
+        assert_eq!(sanitize_name("MTM:fast-first"), "MTM-fast-first");
+        assert_eq!(sanitize_name("Vanilla Tiered-AutoNUMA"), "Vanilla-Tiered-AutoNUMA");
+        assert_eq!(sanitize_name("GUPS"), "GUPS");
+    }
+
+    #[test]
+    fn emit_telemetry_writes_parseable_json() {
+        let mut t = obs::RunTelemetry::default();
+        t.manager = "MTM-w/o-OC".into();
+        t.workload = "GUPS".into();
+        t.registry.counter_add(obs::names::PROMOTIONS, 3);
+        let dir = std::env::temp_dir()
+            .join(format!("mtm-telemetry-test-{}-emit", std::process::id()));
+        let path = emit_telemetry_into(&dir, &t).unwrap();
+        assert_eq!(path.file_name().unwrap().to_str().unwrap(), "MTM-w-o-OC_GUPS.json");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let json = obs::json::parse(&text).unwrap();
+        for key in obs::snapshot::REQUIRED_KEYS {
+            assert!(json.get(key).is_some(), "missing key {key:?}");
+        }
+        assert_eq!(
+            json.get("counters").and_then(|c| c.get(obs::names::PROMOTIONS)).and_then(|v| v.as_num()),
+            Some(3.0)
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn merge_registries_sums_counters() {
+        let mut a = obs::RunTelemetry::default();
+        a.registry.counter_add(obs::names::PROMOTIONS, 2);
+        a.registry.gauge_set(obs::names::REGION_COUNT, 5.0);
+        let mut b = obs::RunTelemetry::default();
+        b.registry.counter_add(obs::names::PROMOTIONS, 3);
+        b.registry.gauge_set(obs::names::REGION_COUNT, 9.0);
+        let merged = merge_registries([&a, &b]);
+        assert_eq!(merged.counter(obs::names::PROMOTIONS), 5);
+        assert_eq!(merged.gauge(obs::names::REGION_COUNT), Some(9.0));
     }
 
     #[test]

@@ -11,7 +11,6 @@
 
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Instant;
 
@@ -139,16 +138,14 @@ pub struct RunCacheStats {
     pub coalesced: u64,
 }
 
-static MISSES: AtomicU64 = AtomicU64::new(0);
-static HITS: AtomicU64 = AtomicU64::new(0);
-static COALESCED: AtomicU64 = AtomicU64::new(0);
-
-/// A snapshot of the process-wide run-cache counters.
+/// A snapshot of the process-wide run-cache counters (kept in the shared
+/// observability registry, [`obs::shared`]).
 pub fn run_cache_stats() -> RunCacheStats {
+    let shared = obs::shared();
     RunCacheStats {
-        misses: MISSES.load(Ordering::Relaxed),
-        hits: HITS.load(Ordering::Relaxed),
-        coalesced: COALESCED.load(Ordering::Relaxed),
+        misses: shared.get(obs::names::RUN_CACHE_MISSES),
+        hits: shared.get(obs::names::RUN_CACHE_HITS),
+        coalesced: shared.get(obs::names::RUN_CACHE_COALESCED),
     }
 }
 
@@ -199,11 +196,20 @@ pub fn cached_run_traced(manager: &str, workload: &str, opts: &Opts) -> (Arc<Run
             }
         };
         if owner {
-            MISSES.fetch_add(1, Ordering::Relaxed);
+            obs::shared().add(obs::names::RUN_CACHE_MISSES, 1);
             eprintln!("[run] {manager}/{workload}: started");
             let t0 = Instant::now();
             let mut guard = OwnerGuard { key: &key, slot: &slot, published: false };
             let report = Arc::new(run_pair(manager, workload, opts));
+            // Export telemetry before publishing: the snapshot travels
+            // inside the Arc'd report, so coalesced waiters and later
+            // cache hits observe the identical telemetry; only the owner
+            // writes the file, once per key.
+            if crate::metrics::telemetry_enabled() {
+                if let Err(e) = crate::metrics::emit_telemetry(&report.telemetry) {
+                    eprintln!("warning: could not write telemetry for {manager}/{workload}: {e}");
+                }
+            }
             *slot.state.lock().expect("run slot poisoned") = SlotState::Ready(report.clone());
             guard.published = true;
             slot.cv.notify_all();
@@ -215,11 +221,11 @@ pub fn cached_run_traced(manager: &str, workload: &str, opts: &Opts) -> (Arc<Run
         }
         let mut state = slot.state.lock().expect("run slot poisoned");
         if let SlotState::Ready(r) = &*state {
-            HITS.fetch_add(1, Ordering::Relaxed);
+            obs::shared().add(obs::names::RUN_CACHE_HITS, 1);
             return (r.clone(), false);
         }
         if matches!(*state, SlotState::Pending) {
-            COALESCED.fetch_add(1, Ordering::Relaxed);
+            obs::shared().add(obs::names::RUN_CACHE_COALESCED, 1);
         }
         loop {
             match &*state {

@@ -1,0 +1,83 @@
+//! Golden-report regression test: renders a small fixed (manager,
+//! workload) matrix in quick mode and compares it byte-for-byte against
+//! the checked-in fixture at `tests/golden/report.txt`.
+//!
+//! When an intentional behavior change shifts the numbers, regenerate
+//! the fixture with:
+//!
+//! ```text
+//! MTM_BLESS=1 cargo test -p mtm-harness --test golden
+//! ```
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use mtm_harness::runs::run_pair;
+use mtm_harness::tablefmt::TextTable;
+use mtm_harness::Opts;
+
+const PAIRS: [(&str, &str); 3] = [("first-touch", "GUPS"), ("hemem", "GUPS"), ("MTM", "GUPS")];
+
+fn tiny() -> Opts {
+    let mut o = Opts::quick();
+    o.scale = 1 << 13;
+    o.threads = 2;
+    o.intervals = 6;
+    o
+}
+
+/// The report under test: throughput plus the decision telemetry that
+/// rides along with each run, so a regression in either the simulation
+/// or the instrumentation shifts a cell.
+fn render() -> String {
+    let opts = tiny();
+    let mut t = TextTable::new(&[
+        "manager",
+        "workload",
+        "ops",
+        "migrated bytes",
+        "promotions",
+        "demotions",
+        "events",
+    ]);
+    for (m, w) in PAIRS {
+        let r = run_pair(m, w, &opts);
+        let reg = &r.telemetry.registry;
+        t.row(vec![
+            m.to_string(),
+            w.to_string(),
+            r.ops_completed.to_string(),
+            r.machine.bytes_migrated.to_string(),
+            reg.counter(obs::names::PROMOTIONS).to_string(),
+            reg.counter(obs::names::DEMOTIONS).to_string(),
+            r.telemetry.events.len().to_string(),
+        ]);
+    }
+    let mut out = String::new();
+    writeln!(out, "Golden quick-matrix report (scale=2^13, 2 threads, 6 intervals)").unwrap();
+    out.push_str(&t.render());
+    out
+}
+
+#[test]
+fn report_matches_golden_fixture() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/report.txt");
+    let got = render();
+    if std::env::var("MTM_BLESS").as_deref() == Ok("1") {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &got).unwrap();
+        eprintln!("blessed golden fixture {}", path.display());
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {}: {e}\nregenerate with MTM_BLESS=1 cargo test -p mtm-harness --test golden",
+            path.display()
+        )
+    });
+    assert_eq!(
+        got, want,
+        "report drifted from the golden fixture; if intended, regenerate with \
+         MTM_BLESS=1 cargo test -p mtm-harness --test golden"
+    );
+}

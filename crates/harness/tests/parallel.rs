@@ -95,6 +95,34 @@ fn parallel_prewarm_is_bit_identical_to_serial_runs() {
 }
 
 #[test]
+fn telemetry_is_deterministic_and_identical_through_the_cache() {
+    force_parallel();
+    let opts = tiny(4);
+    // Two independent executions of the same (manager, workload, opts)
+    // serialize to byte-identical telemetry JSON.
+    let a = run_pair("MTM", "GUPS", &opts).telemetry.to_json();
+    let b = run_pair("MTM", "GUPS", &opts).telemetry.to_json();
+    assert_eq!(a, b, "telemetry must be deterministic across runs");
+    // The snapshot travels inside the cached report, so the pooled
+    // prewarm path (any MTM_JOBS) serves the exact same bytes as the
+    // serial direct runs above.
+    prewarm(&[("MTM", "GUPS")], &opts);
+    let (report, ran) = cached_run_traced("MTM", "GUPS", &opts);
+    assert!(!ran, "prewarm already executed the run");
+    assert_eq!(report.telemetry.to_json(), a, "cached telemetry differs from serial");
+    // The JSON parses and carries the full schema.
+    let json = obs::json::parse(&a).expect("telemetry JSON parses");
+    for key in obs::snapshot::REQUIRED_KEYS {
+        assert!(json.get(key).is_some(), "missing top-level key {key:?}");
+    }
+    // An instrumented MTM run on GUPS actually recorded decisions.
+    assert!(
+        json.get("events").and_then(|e| e.as_arr()).map(|a| a.len()).unwrap_or(0) > 0,
+        "MTM/GUPS run recorded no decision events"
+    );
+}
+
+#[test]
 fn prewarm_tolerates_duplicates_and_repeats() {
     force_parallel();
     let opts = tiny(2);

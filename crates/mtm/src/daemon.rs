@@ -39,6 +39,12 @@ impl MtmManager {
         &self.profiler
     }
 
+    /// Mutable profiler access for tests that seed region state.
+    #[doc(hidden)]
+    pub fn profiler_mut_for_test(&mut self) -> &mut AdaptiveProfiler {
+        &mut self.profiler
+    }
+
     /// Cumulative policy statistics.
     pub fn policy_totals(&self) -> PolicyStats {
         self.policy_totals
@@ -116,8 +122,14 @@ impl MemoryManager for MtmManager {
         self.engine.note_interval(interval);
         // Commit asynchronous migrations started last interval first, so
         // residency is current when the profiler re-plans.
+        let mig_span = obs::SpanTimer::start(m.elapsed_ns());
         self.engine.resolve_pending(m);
+        let now = m.elapsed_ns();
+        mig_span.stop(&mut m.obs_mut().reg, obs::names::SPAN_MIGRATE_NS, now);
+        let prof_span = obs::SpanTimer::start(m.elapsed_ns());
         self.profiler.finish_interval(m);
+        let now = m.elapsed_ns();
+        prof_span.stop(&mut m.obs_mut().reg, obs::names::SPAN_PROFILE_NS, now);
         let stats = promote_and_demote(m, &mut self.profiler, &mut self.engine, &self.cfg);
         self.policy_totals.promoted += stats.promoted;
         self.policy_totals.promoted_bytes += stats.promoted_bytes;
@@ -270,6 +282,164 @@ mod tests {
             mtm_rate > slow_rate * 1.2,
             "MTM {mtm_rate:.0} ops/s vs slow-only {slow_rate:.0} ops/s"
         );
+    }
+
+    #[test]
+    fn num_ps_matches_eq1_closed_form() {
+        let m = machine();
+        let cfg = MtmConfig::default();
+        let mgr = MtmManager::new(cfg.clone(), 1);
+        // Eq. 1: num_ps = interval_ns * target / (eff_scan * num_scans),
+        // eff_scan = 2*one_scan + hint_fault/hint_fault_every.
+        let eff_scan = 2.0 * m.cfg.costs.one_scan_ns
+            + m.cfg.costs.hint_fault_ns() / cfg.hint_fault_every as f64;
+        let want = ((m.cfg.interval_ns * cfg.overhead_target)
+            / (eff_scan * cfg.num_scans as f64)) as u64;
+        assert_eq!(mgr.profiler().num_ps(&m), want.max(1));
+    }
+
+    /// A machine/workload wide enough that the initial one-region-per-PDE
+    /// count exceeds the Eq. 1 sample budget, forcing tau_m escalation.
+    fn wide_setup() -> (Machine, HotQuarter) {
+        let topo = tiny_two_tier(8 * PAGE_SIZE_2M, 160 * PAGE_SIZE_2M);
+        let mut cfg = MachineConfig::new(topo, 2);
+        cfg.interval_ns = 0.5e6;
+        let m = Machine::new(cfg);
+        let wl = HotQuarter {
+            range: VaRange::from_len(VirtAddr(0), 128 * PAGE_SIZE_2M),
+            rng: tiersim::rng::SplitMix64::new(99),
+            ops: 0,
+        };
+        (m, wl)
+    }
+
+    /// A machine with 128 one-PDE regions and an alternating hot/cold
+    /// access pattern applied through real prime/scan passes, so adjacent
+    /// regions end the interval with scan counts 3 vs 0 — too far apart
+    /// to merge at the default tau_m.
+    fn wide_profiled_interval() -> (Machine, MtmManager) {
+        use tiersim::machine::AccessKind;
+        let topo = tiny_two_tier(8 * PAGE_SIZE_2M, 160 * PAGE_SIZE_2M);
+        let mut mcfg = MachineConfig::new(topo, 2);
+        mcfg.interval_ns = 0.5e6;
+        let mut m = Machine::new(mcfg);
+        let r = VaRange::from_len(VirtAddr(0), 128 * PAGE_SIZE_2M);
+        m.mmap("wide", r, false);
+        m.prefault_range(r, &[1]).unwrap();
+        // Disable the PEBS assist so every region is scanned uncondition-
+        // ally (with it on, slowest-tier scans are counter-gated and the
+        // unaccessed regions would be classified cold and merge away).
+        let mut cfg = MtmConfig::default();
+        cfg.pebs_assist = false;
+        let mut mgr = MtmManager::new(cfg, 1);
+        MemoryManager::init(&mut mgr, &mut m);
+        assert_eq!(mgr.profiler().regions().len(), 128);
+        let num_scans = mgr.config().num_scans;
+        for _ in 0..num_scans {
+            mgr.profiler_mut_for_test().prime_pass(&mut m);
+            // Touch every page of every even chunk so whichever page the
+            // plan sampled in those regions sees its accessed bit set.
+            for chunk in (0..128u64).step_by(2) {
+                let base = chunk * PAGE_SIZE_2M;
+                for page in 0..(PAGE_SIZE_2M / tiersim::addr::PAGE_SIZE_4K) {
+                    m.access(
+                        0,
+                        VirtAddr(base + page * tiersim::addr::PAGE_SIZE_4K),
+                        AccessKind::Read,
+                    );
+                }
+            }
+            mgr.profiler_mut_for_test().scan_pass(&mut m);
+        }
+        (m, mgr)
+    }
+
+    #[test]
+    fn escalation_engages_when_regions_exceed_budget() {
+        let (mut m, mut mgr) = wide_profiled_interval();
+        let tau_m_default = MtmConfig::default().tau_m;
+        let num_ps = mgr.profiler().num_ps(&m);
+        assert!(num_ps < 128, "128 regions exceed the Eq. 1 budget ({num_ps})");
+        mgr.profiler_mut_for_test().finish_interval(&mut m);
+        // The alternating hotness blocks merging, so the control loop
+        // must escalate tau_m and record the decision.
+        assert!(mgr.profiler().tau_m_now() > tau_m_default, "tau_m escalated");
+        assert_eq!(m.obs().reg.counter(obs::names::TAU_M_ESCALATIONS), 1);
+        let escalations: Vec<_> = m
+            .obs()
+            .ring
+            .iter()
+            .filter_map(|e| match e.kind {
+                obs::EventKind::TauMEscalated { tau_m, regions, budget } => {
+                    Some((tau_m, regions, budget))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(escalations.len(), 1);
+        let (tau_m, regions, budget) = escalations[0];
+        assert!(tau_m > tau_m_default);
+        assert_eq!(budget, num_ps);
+        assert!(regions > budget, "escalated only while over budget");
+    }
+
+    #[test]
+    fn per_interval_overhead_respects_target_after_escalation() {
+        let (mut m, mut wl) = wide_setup();
+        let cfg = MtmConfig::default();
+        let target = cfg.overhead_target;
+        let mut mgr = MtmManager::new(cfg, 1);
+        let report = run_scenario(&mut m, &mut mgr, &mut wl, 12);
+        // The 128 initial regions exceed the budget, so region merging
+        // must have engaged and brought the count down.
+        assert!(report.telemetry.registry.counter(obs::names::REGIONS_MERGED) > 0);
+        let num_ps = mgr.profiler().stats().last_num_ps;
+        assert!((mgr.profiler().regions().len() as u64) <= num_ps);
+        // Once the control loop converged, per-interval profiling time
+        // must track the 5% target; allow 1.5x slack for quantization
+        // (whole scan passes) and the amortized hint-fault cost.
+        let bt = &report.breakdown_trace;
+        assert!(bt.len() >= 8);
+        for w in bt.windows(2).skip(bt.len() - 5) {
+            let prof = w[1].profiling_ns - w[0].profiling_ns;
+            let wall = w[1].total_ns() - w[0].total_ns();
+            assert!(wall > 0.0);
+            let frac = prof / wall;
+            assert!(
+                frac <= 1.5 * target,
+                "late-interval profiling fraction {frac:.4} exceeds 1.5x target {target}"
+            );
+        }
+        // The per-interval overhead series in the telemetry snapshot
+        // agrees with the breakdown trace.
+        let series = &report.telemetry.series;
+        assert_eq!(series.overhead_pct.len(), bt.len());
+        let last = *series.overhead_pct.last().unwrap();
+        assert!(last <= 150.0 * target, "series overhead {last:.2}% within bound");
+    }
+
+    #[test]
+    fn tau_m_resets_once_region_count_fits() {
+        // A small footprint (16 regions < num_ps ~ 46) never escalates:
+        // tau_m stays at its configured value the whole run.
+        let mut m = machine();
+        let cfg = MtmConfig::default();
+        let tau_m = cfg.tau_m;
+        let mut mgr = MtmManager::new(cfg, 1);
+        let mut wl = workload();
+        let report = run_scenario(&mut m, &mut mgr, &mut wl, 8);
+        assert_eq!(report.telemetry.registry.counter(obs::names::TAU_M_ESCALATIONS), 0);
+        assert_eq!(mgr.profiler().tau_m_now(), tau_m);
+
+        // After an escalation, bringing the region count back under the
+        // budget snaps tau_m back to the configured value rather than
+        // leaving it escalated.
+        let (mut m, mut mgr) = wide_profiled_interval();
+        mgr.profiler_mut_for_test().finish_interval(&mut m);
+        assert!(mgr.profiler().tau_m_now() > tau_m);
+        mgr.profiler_mut_for_test().merge_all_for_test();
+        mgr.profiler_mut_for_test().finish_interval(&mut m);
+        assert_eq!(mgr.profiler().tau_m_now(), tau_m, "tau_m reset after convergence");
     }
 
     #[test]

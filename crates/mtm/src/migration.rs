@@ -141,8 +141,14 @@ impl MigrationEngine {
                     m.charge_migration(out.breakdown.total_ns());
                     self.stats.sync_direct += 1;
                     self.stats.bytes += out.bytes;
+                    m.obs_mut().reg.counter_add(obs::names::SYNC_DIRECT, 1);
+                    m.record_event(obs::EventKind::SyncDirect { bytes: out.bytes, dst });
                 }
-                Err(_) => self.stats.dropped += 1,
+                Err(e) => {
+                    self.stats.dropped += 1;
+                    m.obs_mut().reg.counter_add(obs::names::MIGRATIONS_DROPPED, 1);
+                    m.record_event(obs::EventKind::MigrationDropped { reason: drop_reason(e) });
+                }
             }
         }
     }
@@ -166,8 +172,12 @@ impl MigrationEngine {
                         let n = best_copy_node(m, src, p.dst);
                         critical += copy_cost_ns(m, n, src, p.dst, out.bytes, 2);
                         self.stats.switched_sync += 1;
+                        m.obs_mut().reg.counter_add(obs::names::SWITCHED_SYNC, 1);
+                        m.record_event(obs::EventKind::SwitchedSync { bytes: out.bytes, dst: p.dst });
                     } else {
                         self.stats.async_clean += 1;
+                        m.obs_mut().reg.counter_add(obs::names::ASYNC_CLEAN, 1);
+                        m.record_event(obs::EventKind::AsyncClean { bytes: out.bytes, dst: p.dst });
                     }
                     m.charge_migration(critical);
                     self.stats.bytes += out.bytes;
@@ -178,9 +188,19 @@ impl MigrationEngine {
                         MigrateError::NoSpace(_) => self.stats.dropped_nospace += 1,
                         MigrateError::NothingMapped => self.stats.dropped_empty += 1,
                     }
+                    m.obs_mut().reg.counter_add(obs::names::MIGRATIONS_DROPPED, 1);
+                    m.record_event(obs::EventKind::MigrationDropped { reason: drop_reason(e) });
                 }
             }
         }
+    }
+}
+
+/// Telemetry label for a migration drop cause.
+fn drop_reason(e: MigrateError) -> &'static str {
+    match e {
+        MigrateError::NoSpace(_) => "nospace",
+        MigrateError::NothingMapped => "empty",
     }
 }
 

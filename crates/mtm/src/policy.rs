@@ -104,6 +104,13 @@ fn make_space(
                 engine.migrate(m, victim.range, down, node);
                 stats.demoted += 1;
                 stats.demoted_bytes += victim.range.len();
+                m.obs_mut().reg.counter_add(obs::names::DEMOTIONS, 1);
+                m.obs_mut().reg.counter_add(obs::names::DEMOTED_BYTES, victim.range.len());
+                m.record_event(obs::EventKind::Demotion {
+                    bytes: victim.range.len(),
+                    src: target,
+                    dst: down,
+                });
                 *demote_budget = demote_budget.saturating_sub(victim.range.len());
                 break;
             }
@@ -214,6 +221,13 @@ pub fn promote_and_demote(
                 engine.migrate(m, mig_range, dest, node);
                 stats.promoted += 1;
                 stats.promoted_bytes += mig_range.len();
+                m.obs_mut().reg.counter_add(obs::names::PROMOTIONS, 1);
+                m.obs_mut().reg.counter_add(obs::names::PROMOTED_BYTES, mig_range.len());
+                m.record_event(obs::EventKind::Promotion {
+                    bytes: mig_range.len(),
+                    src: cur,
+                    dst: dest,
+                });
                 budget = budget.saturating_sub(mig_range.len());
                 break;
             }

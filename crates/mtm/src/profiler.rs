@@ -187,9 +187,14 @@ impl AdaptiveProfiler {
         self.mark_pebs_activity(m);
         let observed = self.aggregate_counts();
         self.classify_inactive_slowest(m, &observed);
-        self.zoom_on_counter_hits();
+        let zoom_splits = self.zoom_on_counter_hits();
+        if zoom_splits > 0 {
+            m.obs_mut().reg.counter_add(obs::names::PEBS_ZOOM_SPLITS, zoom_splits);
+            m.record_event(obs::EventKind::PebsZoomSplit { splits: zoom_splits });
+        }
         let num_ps = self.num_ps(m);
         self.stats.last_num_ps = num_ps;
+        let formation_before = self.regions.stats();
         if self.cfg.adaptive_regions {
             let num_scans = self.cfg.num_scans;
             // Never merge regions living on different memory *kinds*
@@ -205,12 +210,26 @@ impl AdaptiveProfiler {
             let freed = self.regions.merge_pass(self.tau_m_now, num_scans, |a, b| {
                 kind_of(a.range) == kind_of(b.range)
             });
+            let merged = self.regions.stats().merged - formation_before.merged;
+            if merged > 0 {
+                m.obs_mut().reg.counter_add(obs::names::REGIONS_MERGED, merged);
+                m.record_event(obs::EventKind::RegionMerge { merged, freed_quota: freed });
+            }
+            if freed > 0 {
+                m.obs_mut().reg.counter_add(obs::names::QUOTA_REDISTRIBUTIONS, 1);
+                m.record_event(obs::EventKind::QuotaRedistributed { freed });
+            }
             self.redistribute(freed);
             let pt = m.page_table();
             let tau_s = self.cfg.tau_s;
             self.regions.split_pass(tau_s, num_scans, |va| {
                 matches!(pt.translate(va), Some(t) if t.size == FrameSize::Huge2M)
             });
+            let split = self.regions.stats().split - formation_before.split;
+            if split > 0 {
+                m.obs_mut().reg.counter_add(obs::names::REGIONS_SPLIT, split);
+                m.record_event(obs::EventKind::RegionSplit { split });
+            }
         }
         self.regions.sync_pde_bases(&m.page_table().valid_pde_bases());
         // Escalate tau_m while the region count exceeds the budget.
@@ -218,12 +237,21 @@ impl AdaptiveProfiler {
             if self.regions.len() as u64 > num_ps {
                 let step = (self.cfg.num_scans as f64 / 6.0).max(0.25);
                 self.tau_m_now = (self.tau_m_now + step).min(self.cfg.num_scans as f64);
+                m.obs_mut().reg.counter_add(obs::names::TAU_M_ESCALATIONS, 1);
+                m.record_event(obs::EventKind::TauMEscalated {
+                    tau_m: self.tau_m_now,
+                    regions: self.regions.len() as u64,
+                    budget: num_ps,
+                });
             } else {
                 self.tau_m_now = self.cfg.tau_m;
             }
         }
         self.rebalance_quotas(num_ps);
         self.plan_next(m);
+        m.obs_mut().reg.gauge_set(obs::names::TAU_M_NOW, self.tau_m_now);
+        m.obs_mut().reg.gauge_set(obs::names::REGION_COUNT, self.regions.len() as f64);
+        m.obs_mut().reg.gauge_set(obs::names::LAST_NUM_PS, num_ps as f64);
         // Bookkeeping for Tables 3/7.
         let fs = self.regions.stats();
         self.stats.merged = fs.merged;
@@ -272,9 +300,9 @@ impl AdaptiveProfiler {
     /// chunk as its own region so its hotness is measured undiluted —
     /// this is how sparse hot structures (a visited bitmap inside
     /// gigabytes of cold graph data) are found quickly.
-    fn zoom_on_counter_hits(&mut self) {
+    fn zoom_on_counter_hits(&mut self) -> u64 {
         if !self.cfg.pebs_assist || !self.cfg.adaptive_regions {
-            return;
+            return 0;
         }
         let hot_threshold = 0.5 * self.cfg.num_scans as f64;
         let mut splits = 0;
@@ -295,6 +323,7 @@ impl AdaptiveProfiler {
                 splits += 1;
             }
         }
+        splits
     }
 
     /// Event-driven cold classification (Sec. 5.5): a slowest-tier region

@@ -36,6 +36,9 @@ pub struct HintFaultUnit {
     poisoned_at: HashMap<u64, f64, BuildU64Hasher>,
     faults: Vec<HintFault>,
     total_faults: u64,
+    /// Largest number of simultaneously poisoned PTEs ever observed
+    /// (telemetry: bounds the fault-storm a scan window can cause).
+    poisoned_peak: usize,
 }
 
 impl HintFaultUnit {
@@ -47,6 +50,7 @@ impl HintFaultUnit {
     /// Records that `page` was poisoned at virtual time `now_ns`.
     pub fn poison(&mut self, page: VirtAddr, now_ns: f64) {
         self.poisoned_at.insert(page.0, now_ns);
+        self.poisoned_peak = self.poisoned_peak.max(self.poisoned_at.len());
     }
 
     /// Number of pages currently poisoned.
@@ -74,6 +78,19 @@ impl HintFaultUnit {
     /// Total faults ever captured.
     pub fn total_faults(&self) -> u64 {
         self.total_faults
+    }
+
+    /// Largest number of simultaneously poisoned PTEs ever observed.
+    pub fn poisoned_peak(&self) -> usize {
+        self.poisoned_peak
+    }
+
+    /// Zeroes the lifetime statistics (fault total, poison peak) without
+    /// disturbing currently poisoned PTEs — used when measurement resets
+    /// after workload setup.
+    pub fn reset_stats(&mut self) {
+        self.total_faults = 0;
+        self.poisoned_peak = self.poisoned_at.len();
     }
 
     /// Forgets a poisoned page without a fault (e.g. the page was unmapped).

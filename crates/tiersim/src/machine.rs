@@ -211,6 +211,9 @@ pub struct Machine {
     /// PM component -> fronting DRAM component (Memory Mode).
     hmc_front: HashMap<ComponentId, ComponentId>,
     heat: HashMap<u64, u64, BuildU64Hasher>,
+    /// Per-run observability recorder. Recording never touches the clock
+    /// or any RNG, so instrumentation cannot perturb simulated results.
+    pub(crate) recorder: obs::Recorder,
 }
 
 impl Machine {
@@ -256,6 +259,7 @@ impl Machine {
             hmc_caches,
             hmc_front,
             heat: HashMap::default(),
+            recorder: obs::Recorder::new(),
         }
     }
 
@@ -328,6 +332,26 @@ impl Machine {
     /// Total committed virtual time.
     pub fn elapsed_ns(&self) -> f64 {
         self.clock.breakdown().total_ns()
+    }
+
+    /// The per-run observability recorder.
+    #[inline]
+    pub fn obs(&self) -> &obs::Recorder {
+        &self.recorder
+    }
+
+    /// Mutable access to the per-run observability recorder.
+    #[inline]
+    pub fn obs_mut(&mut self) -> &mut obs::Recorder {
+        &mut self.recorder
+    }
+
+    /// Records a decision event, stamping it with the number of committed
+    /// profiling intervals and the committed virtual time.
+    pub fn record_event(&mut self, kind: obs::EventKind) {
+        let interval = self.clock.intervals();
+        let t_ns = self.clock.breakdown().total_ns();
+        self.recorder.record(interval, t_ns, kind);
     }
 
     /// Registers a VMA (see [`PageTable::mmap`]).
@@ -584,7 +608,12 @@ impl Machine {
 
     /// Drains captured hint faults.
     pub fn drain_hint_faults(&mut self) -> Vec<crate::hintfault::HintFault> {
-        self.hints.drain()
+        let faults = self.hints.drain();
+        if !faults.is_empty() {
+            self.recorder.reg.counter_add(obs::names::HINT_FAULTS_DRAINED, faults.len() as u64);
+            self.recorder.reg.observe(obs::names::HINT_DRAIN_BATCH, faults.len() as u64);
+        }
+        faults
     }
 
     /// Version counter of a physical frame (bumped on every simulated
@@ -598,11 +627,25 @@ impl Machine {
         (self.pebs.taken(), self.pebs.dropped(), self.pebs.pending())
     }
 
+    /// PEBS samples taken per component (see [`crate::pebs::Pebs::component_counts`]).
+    pub fn pebs_component_counts(&self) -> Vec<(ComponentId, u64)> {
+        self.pebs.component_counts()
+    }
+
+    /// Largest number of simultaneously poisoned hint-fault PTEs.
+    pub fn hint_poisoned_peak(&self) -> usize {
+        self.hints.poisoned_peak()
+    }
+
     /// Drains PEBS samples, charging the per-sample processing cost to
     /// profiling.
     pub fn drain_pebs(&mut self) -> Vec<crate::pebs::PebsSample> {
         let samples = self.pebs.drain();
         self.clock.charge_profiling(samples.len() as f64 * self.cfg.costs.pebs_sample_ns);
+        if !samples.is_empty() {
+            self.recorder.reg.counter_add(obs::names::PEBS_SAMPLES_DRAINED, samples.len() as u64);
+            self.recorder.reg.observe(obs::names::PEBS_DRAIN_BATCH, samples.len() as u64);
+        }
         samples
     }
 
@@ -671,6 +714,8 @@ impl Machine {
         self.stats = MachineStats::default();
         self.pebs = Pebs::new(&self.cfg.pebs);
         self.prot_faults.clear();
+        self.hints.reset_stats();
+        self.recorder = obs::Recorder::new();
     }
 
     /// The 2 MB-granularity access heatmap (empty unless `track_heat`).

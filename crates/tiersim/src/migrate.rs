@@ -275,6 +275,8 @@ pub fn relocate_range(
         costs.migrate_pt_region_ns * (out.bytes as f64 / crate::addr::PAGE_SIZE_2M as f64).max(0.01);
     m.stats.pages_migrated += out.pages;
     m.stats.bytes_migrated += out.bytes;
+    m.recorder.reg.counter_add(obs::names::MIGRATIONS, 1);
+    m.recorder.reg.observe(obs::names::MIGRATION_BYTES, out.bytes);
     Ok(out)
 }
 

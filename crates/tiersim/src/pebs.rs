@@ -56,6 +56,9 @@ pub struct Pebs {
     buffer: Vec<PebsSample>,
     dropped: u64,
     taken: u64,
+    /// Samples taken per component id (telemetry; component ids fit the
+    /// monitored mask, i.e. < 64).
+    by_component: [u64; 64],
 }
 
 impl Pebs {
@@ -75,6 +78,7 @@ impl Pebs {
             buffer: Vec::new(),
             dropped: 0,
             taken: 0,
+            by_component: [0; 64],
         }
     }
 
@@ -90,6 +94,7 @@ impl Pebs {
         }
         self.countdown = self.period;
         self.taken += 1;
+        self.by_component[component as usize] += 1;
         if self.buffer.len() >= self.buffer_cap {
             self.dropped += 1;
             return;
@@ -115,6 +120,17 @@ impl Pebs {
     /// Total samples taken (buffered or dropped).
     pub fn taken(&self) -> u64 {
         self.taken
+    }
+
+    /// Samples taken per component, as `(component, count)` pairs for
+    /// every component that produced at least one sample, ascending.
+    pub fn component_counts(&self) -> Vec<(ComponentId, u64)> {
+        self.by_component
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(c, &n)| (c as ComponentId, n))
+            .collect()
     }
 }
 

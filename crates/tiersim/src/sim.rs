@@ -194,6 +194,10 @@ pub struct RunReport {
     pub ops_completed: u64,
     /// Workload footprint in bytes.
     pub footprint: u64,
+    /// Per-run observability snapshot (counters, decision events,
+    /// per-interval series). Travels with the report through the
+    /// harness's run cache, so telemetry is identical for every caller.
+    pub telemetry: obs::RunTelemetry,
 }
 
 impl RunReport {
@@ -322,6 +326,9 @@ pub fn run_scenario(
     let mut interval_ns = Vec::with_capacity(intervals as usize);
     let mut ops_trace = Vec::with_capacity(intervals as usize);
     let mut breakdown_trace = Vec::with_capacity(intervals as usize);
+    let mut series = obs::IntervalSeries::default();
+    let mut prev_breakdown = machine.breakdown();
+    let mut prev_migrated = machine.stats().bytes_migrated;
 
     for ivl in 0..intervals {
         let wall = drive_interval(machine, manager, workload, ivl);
@@ -333,8 +340,24 @@ pub fn run_scenario(
         workload.end_of_interval(ivl);
         ops_trace.push(workload.ops_completed());
         breakdown_trace.push(machine.breakdown());
+
+        // Per-interval telemetry series: profiling overhead share,
+        // migration traffic and tier occupancy for this interval.
+        let b = machine.breakdown();
+        let total_delta = b.total_ns() - prev_breakdown.total_ns();
+        let prof_delta = b.profiling_ns - prev_breakdown.profiling_ns;
+        series.wall_ns.push(wall);
+        series
+            .overhead_pct
+            .push(if total_delta > 0.0 { 100.0 * prof_delta / total_delta } else { 0.0 });
+        let migrated = machine.stats().bytes_migrated;
+        series.migrated_bytes.push(migrated - prev_migrated);
+        series.occupancy.push(machine.residency());
+        prev_breakdown = b;
+        prev_migrated = migrated;
     }
 
+    let telemetry = finalize_telemetry(machine, manager, workload, series);
     let breakdown = machine.breakdown();
     RunReport {
         manager: manager.name(),
@@ -353,6 +376,63 @@ pub fn run_scenario(
         region_stats: manager.region_stats(),
         ops_completed: workload.ops_completed(),
         footprint: workload.footprint(),
+        telemetry,
+    }
+}
+
+/// Static metric names for per-component PEBS sample counts (the
+/// registry's key set is closed at compile time; no simulated topology
+/// exceeds this many components).
+const PEBS_COMPONENT_NAMES: [&str; 8] = [
+    "pebs_samples_c0",
+    "pebs_samples_c1",
+    "pebs_samples_c2",
+    "pebs_samples_c3",
+    "pebs_samples_c4",
+    "pebs_samples_c5",
+    "pebs_samples_c6",
+    "pebs_samples_c7",
+];
+
+/// Moves the machine's recorder out and folds the end-of-run machine
+/// statistics into it, producing the run's telemetry snapshot.
+fn finalize_telemetry(
+    machine: &mut Machine,
+    manager: &mut dyn MemoryManager,
+    workload: &mut dyn Workload,
+    series: obs::IntervalSeries,
+) -> obs::RunTelemetry {
+    use obs::names;
+    let mut rec = std::mem::take(machine.obs_mut());
+    let stats = machine.stats();
+    for (name, v) in [
+        (names::ALLOC_FAULTS, stats.alloc_faults),
+        (names::HINT_FAULTS, stats.hint_faults),
+        (names::PROT_FAULTS, stats.prot_faults),
+        (names::WP_FAULTS, stats.wp_faults),
+        (names::PTE_SCANS, stats.pte_scans),
+        (names::TLB_FLUSHES, stats.tlb_flushes),
+        (names::PAGES_MIGRATED, stats.pages_migrated),
+        (names::BYTES_MIGRATED, stats.bytes_migrated),
+    ] {
+        rec.reg.counter_add(name, v);
+    }
+    let (pebs_taken, pebs_dropped, _) = machine.pebs_stats();
+    rec.reg.counter_add(names::PEBS_SAMPLES_TAKEN, pebs_taken);
+    rec.reg.counter_add(names::PEBS_SAMPLES_DROPPED, pebs_dropped);
+    for (c, n) in machine.pebs_component_counts() {
+        if let Some(&name) = PEBS_COMPONENT_NAMES.get(c as usize) {
+            rec.reg.counter_add(name, n);
+        }
+    }
+    rec.reg.gauge_set(names::HINT_POISONED_PEAK, machine.hint_poisoned_peak() as f64);
+    obs::RunTelemetry {
+        manager: manager.name(),
+        workload: workload.name(),
+        registry: rec.reg,
+        events_dropped: rec.ring.dropped(),
+        events: rec.ring.take(),
+        series,
     }
 }
 

@@ -36,4 +36,25 @@ if grep -E '^warning:' "$smoke_err"; then
     exit 1
 fi
 
+# Telemetry smoke: the same quick matrix with MTM_TELEMETRY=1 must emit
+# per-run JSON under results/telemetry/ that parses and carries the
+# required top-level keys (telemetry_check validates every file). The
+# warning: gate applies here too.
+echo "==> telemetry smoke (MTM_TELEMETRY=1 MTM_QUICK=1 MTM_JOBS=4)"
+rm -rf results/telemetry
+if ! MTM_TELEMETRY=1 MTM_QUICK=1 MTM_JOBS=4 cargo run --release -q -p mtm-harness --bin all \
+        >/dev/null 2>"$smoke_err"; then
+    cat "$smoke_err" >&2
+    echo "verify: FAIL (telemetry smoke run failed)"
+    exit 1
+fi
+if grep -E '^warning:' "$smoke_err"; then
+    echo "verify: FAIL (warning lines on telemetry smoke stderr, see above)"
+    exit 1
+fi
+if ! cargo run --release -q -p mtm-harness --bin telemetry_check; then
+    echo "verify: FAIL (emitted telemetry is malformed)"
+    exit 1
+fi
+
 echo "verify: OK"

@@ -59,6 +59,89 @@ fn region_list_stays_well_formed() {
     );
 }
 
+/// The region EMA (Eq. 2) stays inside the envelope of its observations,
+/// and the hotness histogram over a set of regions does not depend on
+/// the order the regions were observed in within one interval.
+#[test]
+fn ema_bounded_and_histogram_order_insensitive() {
+    prop_check!(
+        "ema_bounded_and_histogram_order_insensitive",
+        64,
+        (
+            gen::vec_in(gen::f64_range(0.0, 8.0), 1, 16),
+            gen::f64_range(0.05, 1.0),
+            gen::u64_range(0, 15),
+        ),
+        |(his, alpha, rot)| {
+            let alpha = *alpha;
+            // EMA envelope: starting from whi = 0, every update keeps the
+            // EMA within [0, max observation so far].
+            let mut list = region_list(1);
+            let mut max_seen = 0.0f64;
+            for &hi in his {
+                list.regions_mut()[0].observe(hi, alpha);
+                max_seen = max_seen.max(hi);
+                let whi = list.regions()[0].whi;
+                prop_assert!(
+                    (0.0..=max_seen + 1e-12).contains(&whi),
+                    "whi {whi} escaped [0, {max_seen}]"
+                );
+            }
+            // Histogram order-insensitivity: each region observes one hi
+            // this interval; rotating which region got which observation
+            // must not change the bucket counts.
+            let n = his.len() as u64;
+            let mut a = region_list(n);
+            let mut b = region_list(n);
+            for (i, r) in a.regions_mut().iter_mut().enumerate() {
+                r.observe(his[i], alpha);
+            }
+            let rot = (*rot as usize) % his.len();
+            for (i, r) in b.regions_mut().iter_mut().enumerate() {
+                r.observe(his[(i + rot) % his.len()], alpha);
+            }
+            let ha = mtm::histogram::HotnessHistogram::build(a.regions(), 8, 8.0);
+            let hb = mtm::histogram::HotnessHistogram::build(b.regions(), 8, 8.0);
+            prop_assert_eq!(ha.counts(), hb.counts(), "bucket counts are order-insensitive");
+        }
+    );
+}
+
+/// Merge/split round-trips preserve total address-range coverage with
+/// no overlap, and every region boundary stays 2 MB-aligned.
+#[test]
+fn merge_split_round_trips_keep_coverage_and_alignment() {
+    prop_check!(
+        "merge_split_round_trips_keep_coverage_and_alignment",
+        64,
+        (gen::vec(gen::f64_range(0.0, 3.0), 24), gen::u8_range(1, 4)),
+        |(his, rounds)| {
+            let mut list = region_list(24);
+            let covered: u64 = list.regions().iter().map(Region::len).sum();
+            for (r, &hi) in list.regions_mut().iter_mut().zip(his) {
+                r.observe(hi, 0.5);
+                r.spread = hi;
+                r.sample_max = hi;
+                r.evidence = 1;
+            }
+            for _ in 0..*rounds {
+                list.merge_pass(f64::INFINITY, 3, |_, _| true);
+                for r in list.regions_mut() {
+                    r.evidence = 1;
+                }
+                list.split_pass(0.5, 3, |_| true);
+                prop_assert!(list.is_well_formed(), "sorted, disjoint, quota-positive");
+                let now: u64 = list.regions().iter().map(Region::len).sum();
+                prop_assert_eq!(now, covered, "round-trip preserves coverage");
+                for r in list.regions() {
+                    prop_assert_eq!(r.range.start.0 % PAGE_SIZE_2M, 0, "2 MB-aligned start");
+                    prop_assert_eq!(r.range.end.0 % PAGE_SIZE_2M, 0, "2 MB-aligned end");
+                }
+            }
+        }
+    );
+}
+
 /// Merging frees exactly the quota difference; splitting adds at most
 /// one per split; every region keeps at least one sample.
 #[test]
