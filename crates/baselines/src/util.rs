@@ -67,15 +67,35 @@ pub fn one_step_down(m: &Machine, component: ComponentId, node: NodeId) -> Optio
 }
 
 /// Migrates `range` to `dst` synchronously, charging the full cost, and
-/// returns the bytes moved (0 on failure — destination full or empty
-/// range), as Linux `migrate_pages()`-based baselines do.
+/// returns the bytes moved (0 on failure — destination full, empty
+/// range, or a transient fault that outlived the retry budget), as Linux
+/// `migrate_pages()`-based baselines do. Transient failures are retried
+/// with bounded exponential backoff, the backoff landing on the critical
+/// path exactly like the failed `migrate_pages()` calls it models.
 pub fn migrate_sync(m: &mut Machine, range: VaRange, dst: ComponentId, node: NodeId) -> u64 {
-    match tiersim::migrate::relocate_range(m, range, dst, node, 1, false) {
+    let (res, report) = tiersim::migrate::relocate_with_retry(
+        m,
+        range,
+        dst,
+        node,
+        1,
+        false,
+        tiersim::migrate::RetryPolicy::default(),
+    );
+    if report.backoff_ns > 0.0 {
+        m.charge_migration(report.backoff_ns);
+    }
+    match res {
         Ok(out) => {
             m.charge_migration(out.breakdown.total_ns());
             out.bytes
         }
-        Err(_) => 0,
+        Err(e) => {
+            if e.is_transient() {
+                m.obs_mut().reg.counter_add(obs::names::MIGRATIONS_DROPPED_TRANSIENT, 1);
+            }
+            0
+        }
     }
 }
 

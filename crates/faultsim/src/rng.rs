@@ -1,0 +1,81 @@
+//! Local SplitMix64 stream.
+//!
+//! `faultsim` is dependency-free (it sits *below* `tiersim` in the crate
+//! graph, so it cannot borrow the simulator's RNG), hence this small copy
+//! of the same SplitMix64 everything else in the workspace uses. Keeping
+//! the generator identical means a fault schedule is fully described by
+//! `(plan, seed)` — nothing about the host, thread or build enters it.
+
+/// A SplitMix64 generator dedicated to fault-injection decisions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed.wrapping_add(0x9e3779b97f4a7c15) }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Derives a per-run seed from a base seed and a label (manager, fault
+/// level, ...), so a sweep can give every run its own reproducible stream
+/// regardless of the order runs execute in.
+pub fn derive_seed(base: u64, label: &str) -> u64 {
+    // FNV-1a over the label folded into a SplitMix64 scramble: cheap,
+    // stable, and label order independent.
+    let mut h = 0xcbf29ce484222325u64 ^ base;
+    for b in label.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    SplitMix64::new(h).next_u64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_stream() {
+        let mut a = SplitMix64::new(9);
+        let mut b = SplitMix64::new(9);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        assert_ne!(SplitMix64::new(1).next_u64(), SplitMix64::new(2).next_u64());
+    }
+
+    #[test]
+    fn unit_f64_in_range() {
+        let mut r = SplitMix64::new(3);
+        for _ in 0..256 {
+            let v = r.unit_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn derived_seeds_differ_by_label_and_base() {
+        assert_eq!(derive_seed(7, "MTM/heavy"), derive_seed(7, "MTM/heavy"));
+        assert_ne!(derive_seed(7, "MTM/heavy"), derive_seed(7, "MTM/light"));
+        assert_ne!(derive_seed(7, "MTM/heavy"), derive_seed(8, "MTM/heavy"));
+    }
+}

@@ -1,0 +1,13 @@
+//! Robustness sweep: all managers under increasing injected-fault
+//! intensity (see `mtm_harness::resilience`). Not part of `bin/all` —
+//! `results/ALL.txt` stays a healthy-machine artifact.
+
+fn main() {
+    let opts = mtm_harness::Opts::from_env();
+    eprintln!("running with {opts:?} on {} worker(s)", mtm_harness::runpool::jobs());
+    let out = mtm_harness::resilience::run(&opts);
+    println!("{out}");
+    if let Err(e) = mtm_harness::save_result("resilience", &out) {
+        eprintln!("warning: could not save results/resilience.txt: {e}");
+    }
+}

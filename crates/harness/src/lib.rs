@@ -18,6 +18,7 @@ pub mod fig9;
 pub mod metrics;
 pub mod opts;
 pub mod overall;
+pub mod resilience;
 pub mod runpool;
 pub mod runs;
 pub mod tablefmt;

@@ -66,10 +66,10 @@ pub fn build_manager(name: &str, opts: &Opts, topo: &Topology) -> Box<dyn Memory
     try_build_manager(name, opts, topo).unwrap_or_else(|| panic!("unknown manager {name:?}"))
 }
 
-/// Builds the machine a manager runs on: the four-tier Optane topology by
-/// default, Memory Mode caches for `hmc`, and all-component PEBS for
-/// `hemem`.
-pub fn machine_for(manager: &str, opts: &Opts, topo: Topology) -> Machine {
+/// Builds the machine a manager runs on, before fault installation: the
+/// four-tier Optane topology by default, Memory Mode caches for `hmc`,
+/// and all-component PEBS for `hemem`.
+fn healthy_machine_for(manager: &str, opts: &Opts, topo: Topology) -> Machine {
     let mut cfg = MachineConfig::new(topo.clone(), opts.threads);
     cfg.interval_ns = opts.interval_ns;
     if manager == "hmc" {
@@ -81,6 +81,42 @@ pub fn machine_for(manager: &str, opts: &Opts, topo: Topology) -> Machine {
     Machine::new(cfg)
 }
 
+/// The fault plan + base seed configured through `MTM_FAULTS` /
+/// `MTM_FAULT_SEED`, read once per process. `None` when unset, empty, or
+/// malformed (malformed specs print a `warning:` line — once — instead of
+/// silently injecting nothing the user asked for).
+fn env_fault_setup() -> Option<(faultsim::FaultPlan, u64)> {
+    static SETUP: OnceLock<Option<(faultsim::FaultPlan, u64)>> = OnceLock::new();
+    SETUP
+        .get_or_init(|| {
+            let plan = match faultsim::FaultPlan::from_env() {
+                Ok(p) => p?,
+                Err(e) => {
+                    eprintln!("warning: {e}");
+                    return None;
+                }
+            };
+            let (seed, warn) = faultsim::plan::seed_from_env();
+            if let Some(w) = warn {
+                eprintln!("warning: {w}");
+            }
+            Some((plan, seed))
+        })
+        .clone()
+}
+
+/// Builds the machine a manager runs on (see [`healthy_machine_for`]),
+/// installing the environment-configured fault plan if one is set. Each
+/// manager draws from its own label-derived stream, so the schedule a
+/// given run sees never depends on what else ran, or in which order.
+pub fn machine_for(manager: &str, opts: &Opts, topo: Topology) -> Machine {
+    let mut machine = healthy_machine_for(manager, opts, topo);
+    if let Some((plan, seed)) = env_fault_setup() {
+        machine.install_faults(plan, faultsim::derive_seed(seed, manager));
+    }
+    machine
+}
+
 /// Runs one (manager, workload) pair on the four-tier machine.
 pub fn run_pair(manager: &str, workload: &str, opts: &Opts) -> RunReport {
     let topo = optane_four_tier(opts.scale);
@@ -90,6 +126,29 @@ pub fn run_pair(manager: &str, workload: &str, opts: &Opts) -> RunReport {
 /// Runs one (manager, workload) pair on a given topology.
 pub fn run_pair_on(manager: &str, workload: &str, opts: &Opts, topo: Topology) -> RunReport {
     let mut machine = machine_for(manager, opts, topo.clone());
+    let mut mgr = build_manager(manager, opts, &topo);
+    let mut wl: Box<dyn Workload> =
+        mtm_workloads::build_paper_workload(workload, opts.scale, opts.threads)
+            .unwrap_or_else(|| panic!("unknown workload {workload:?}"));
+    run_scenario(&mut machine, mgr.as_mut(), wl.as_mut(), opts.intervals)
+}
+
+/// Runs one (manager, workload) pair with an explicit fault plan (or an
+/// explicitly healthy machine when `faults` is `None`), bypassing both
+/// the environment configuration and the run cache. This is the entry
+/// point for the resilience sweep and for tests that must not race on
+/// process-global environment variables.
+pub fn run_pair_with_faults(
+    manager: &str,
+    workload: &str,
+    opts: &Opts,
+    faults: Option<(faultsim::FaultPlan, u64)>,
+) -> RunReport {
+    let topo = optane_four_tier(opts.scale);
+    let mut machine = healthy_machine_for(manager, opts, topo.clone());
+    if let Some((plan, seed)) = faults {
+        machine.install_faults(plan, seed);
+    }
     let mut mgr = build_manager(manager, opts, &topo);
     let mut wl: Box<dyn Workload> =
         mtm_workloads::build_paper_workload(workload, opts.scale, opts.threads)

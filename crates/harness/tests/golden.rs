@@ -12,9 +12,10 @@
 use std::fmt::Write as _;
 use std::path::Path;
 
-use mtm_harness::runs::run_pair;
+use mtm_harness::runs::{run_pair, run_pair_with_faults};
 use mtm_harness::tablefmt::TextTable;
 use mtm_harness::Opts;
+use tiersim::sim::RunReport;
 
 const PAIRS: [(&str, &str); 3] = [("first-touch", "GUPS"), ("hemem", "GUPS"), ("MTM", "GUPS")];
 
@@ -30,6 +31,10 @@ fn tiny() -> Opts {
 /// rides along with each run, so a regression in either the simulation
 /// or the instrumentation shifts a cell.
 fn render() -> String {
+    render_with(|m, w, o| run_pair(m, w, o))
+}
+
+fn render_with(run: impl Fn(&str, &str, &Opts) -> RunReport) -> String {
     let opts = tiny();
     let mut t = TextTable::new(&[
         "manager",
@@ -41,7 +46,7 @@ fn render() -> String {
         "events",
     ]);
     for (m, w) in PAIRS {
-        let r = run_pair(m, w, &opts);
+        let r = run(m, w, &opts);
         let reg = &r.telemetry.registry;
         t.row(vec![
             m.to_string(),
@@ -80,4 +85,49 @@ fn report_matches_golden_fixture() {
         "report drifted from the golden fixture; if intended, regenerate with \
          MTM_BLESS=1 cargo test -p mtm-harness --test golden"
     );
+}
+
+/// Healthy-path guard for the fault subsystem: routing runs through the
+/// fault-aware entry point with no plan installed must reproduce the
+/// golden fixture byte for byte. A disabled fault plane that consumed
+/// RNG draws, perturbed bandwidth, or shifted telemetry would show up
+/// here as a fixture mismatch.
+#[test]
+fn disabled_fault_plane_reproduces_the_golden_fixture() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/report.txt");
+    let Ok(want) = std::fs::read_to_string(&path) else {
+        // `report_matches_golden_fixture` owns the missing-fixture error.
+        return;
+    };
+    let got = render_with(|m, w, o| run_pair_with_faults(m, w, o, None));
+    assert_eq!(got, want, "a disabled fault plane must not move a single byte of the report");
+}
+
+/// A faulty run is a pure function of (plan, seed): replaying the same
+/// plan and seed yields identical throughput and identical fault/retry
+/// telemetry, and the injections demonstrably fired.
+#[test]
+fn faulty_runs_replay_identically() {
+    let opts = tiny();
+    let spec = "busy=0.3,allocfail=0.2,droppebs=0.5,drophint=0.5";
+    let run = || {
+        let plan = faultsim::FaultPlan::parse(spec).unwrap();
+        run_pair_with_faults("hemem", "GUPS", &opts, Some((plan, 0xfee1_dead)))
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.ops_completed, b.ops_completed);
+    let injected = |r: &RunReport| {
+        let reg = &r.telemetry.registry;
+        reg.counter(obs::names::FAULT_PAGE_BUSY)
+            + reg.counter(obs::names::FAULT_ALLOC_FAIL)
+            + reg.counter(obs::names::FAULT_PEBS_LOST)
+            + reg.counter(obs::names::FAULT_HINTS_LOST)
+    };
+    assert_eq!(injected(&a), injected(&b), "identical injection schedule");
+    assert_eq!(
+        a.telemetry.registry.counter(obs::names::MIGRATION_RETRIES),
+        b.telemetry.registry.counter(obs::names::MIGRATION_RETRIES),
+        "identical retry behavior"
+    );
+    assert!(injected(&a) > 0, "the plan actually injected faults");
 }

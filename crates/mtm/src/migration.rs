@@ -12,11 +12,19 @@
 
 use tiersim::addr::VaRange;
 use tiersim::machine::Machine;
-use tiersim::migrate::{best_copy_node, copy_cost_ns, relocate_range, MigrateError, MigrateOutcome};
+use tiersim::migrate::{
+    best_copy_node, copy_cost_ns, relocate_range, relocate_with_retry, MigrateError,
+    MigrateOutcome, RetryPolicy,
+};
 use tiersim::tier::{ComponentId, NodeId};
 
 /// How many intervals a migrated range is left alone.
 const COOLDOWN_INTERVALS: u64 = 6;
+
+/// Total tries an async migration gets across commit attempts: a commit
+/// that keeps failing transiently is aborted and re-enqueued (Nomad-style
+/// transactional copy) at most this many times before being dropped.
+const MAX_ASYNC_ATTEMPTS: u32 = 3;
 
 /// A migration started asynchronously, awaiting commit.
 #[derive(Clone, Copy, Debug)]
@@ -26,6 +34,8 @@ struct PendingAsync {
     dst: ComponentId,
     node: NodeId,
     watch_id: u64,
+    /// Commit attempts so far (0 for a freshly queued migration).
+    attempts: u32,
 }
 
 /// Mechanism statistics.
@@ -43,6 +53,14 @@ pub struct MigrationStats {
     pub dropped_nospace: u64,
     /// Drops because no page in the range still needed moving.
     pub dropped_empty: u64,
+    /// Drops after exhausting retry, deferral and re-enqueue budgets.
+    pub dropped_transient: u64,
+    /// Attempts re-issued after a transient failure (retry/backoff).
+    pub retried: u64,
+    /// Async commits aborted transactionally and re-enqueued.
+    pub aborted: u64,
+    /// Sync migrations downgraded to async after retry exhaustion.
+    pub deferred: u64,
     /// Total bytes migrated by this engine.
     pub bytes: u64,
 }
@@ -54,22 +72,30 @@ pub struct MigrationEngine {
     async_enabled: bool,
     pending: Vec<PendingAsync>,
     stats: MigrationStats,
+    retry: RetryPolicy,
     /// Recently migrated ranges with the interval they were queued in.
     history: std::collections::VecDeque<(u64, VaRange)>,
     now_interval: u64,
 }
 
 impl MigrationEngine {
-    /// Creates an engine.
+    /// Creates an engine with the default retry/backoff policy.
     pub fn new(copy_threads: u32, async_enabled: bool) -> MigrationEngine {
         MigrationEngine {
             copy_threads,
             async_enabled,
             pending: Vec::new(),
             stats: MigrationStats::default(),
+            retry: RetryPolicy::default(),
             history: std::collections::VecDeque::new(),
             now_interval: 0,
         }
+    }
+
+    /// Replaces the retry/backoff policy (tests and sweeps).
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> MigrationEngine {
+        self.retry = policy;
+        self
     }
 
     /// Advances the engine's interval clock and expires old history.
@@ -132,25 +158,65 @@ impl MigrationEngine {
     pub fn migrate(&mut self, m: &mut Machine, range: VaRange, dst: ComponentId, node: NodeId) {
         self.history.push_back((self.now_interval, range));
         if self.async_enabled {
-            let src = crate::residency::majority_component(m, range);
-            let watch_id = m.arm_write_watch(range);
-            self.pending.push(PendingAsync { range, src, dst, node, watch_id });
+            self.enqueue_async(m, range, dst, node, 0);
         } else {
-            match relocate_range(m, range, dst, node, self.copy_threads, false) {
+            let (res, report) =
+                relocate_with_retry(m, range, dst, node, self.copy_threads, false, self.retry);
+            self.stats.retried += report.retries as u64;
+            match res {
                 Ok(out) => {
-                    m.charge_migration(out.breakdown.total_ns());
+                    m.charge_migration(out.breakdown.total_ns() + report.backoff_ns);
                     self.stats.sync_direct += 1;
                     self.stats.bytes += out.bytes;
                     m.obs_mut().reg.counter_add(obs::names::SYNC_DIRECT, 1);
                     m.record_event(obs::EventKind::SyncDirect { bytes: out.bytes, dst });
                 }
+                Err(e) if e.is_transient() => {
+                    // Graceful degradation: the retry budget is spent, so
+                    // instead of dropping the work, downgrade to an
+                    // asynchronous attempt committed at a later interval.
+                    m.charge_migration(report.backoff_ns);
+                    self.stats.deferred += 1;
+                    m.obs_mut().reg.counter_add(obs::names::MIGRATION_DEFERRALS, 1);
+                    m.record_event(obs::EventKind::MigrationDeferred { bytes: range.len(), dst });
+                    self.enqueue_async(m, range, dst, node, 1);
+                }
                 Err(e) => {
-                    self.stats.dropped += 1;
-                    m.obs_mut().reg.counter_add(obs::names::MIGRATIONS_DROPPED, 1);
-                    m.record_event(obs::EventKind::MigrationDropped { reason: drop_reason(e) });
+                    m.charge_migration(report.backoff_ns);
+                    self.drop_migration(m, e);
                 }
             }
         }
+    }
+
+    /// Arms write tracking and queues an asynchronous migration.
+    fn enqueue_async(
+        &mut self,
+        m: &mut Machine,
+        range: VaRange,
+        dst: ComponentId,
+        node: NodeId,
+        attempts: u32,
+    ) {
+        let src = crate::residency::majority_component(m, range);
+        let watch_id = m.arm_write_watch(range);
+        self.pending.push(PendingAsync { range, src, dst, node, watch_id, attempts });
+    }
+
+    /// Records a permanently dropped migration.
+    fn drop_migration(&mut self, m: &mut Machine, e: MigrateError) {
+        self.stats.dropped += 1;
+        match e {
+            MigrateError::NoSpace(_) => self.stats.dropped_nospace += 1,
+            MigrateError::NothingMapped => self.stats.dropped_empty += 1,
+            _ if e.is_transient() => self.stats.dropped_transient += 1,
+            _ => {}
+        }
+        m.obs_mut().reg.counter_add(obs::names::MIGRATIONS_DROPPED, 1);
+        if e.is_transient() {
+            m.obs_mut().reg.counter_add(obs::names::MIGRATIONS_DROPPED_TRANSIENT, 1);
+        }
+        m.record_event(obs::EventKind::MigrationDropped { reason: drop_reason(e) });
     }
 
     /// Commits every pending asynchronous migration (call at the start of
@@ -159,7 +225,11 @@ impl MigrationEngine {
     pub fn resolve_pending(&mut self, m: &mut Machine) {
         for p in std::mem::take(&mut self.pending) {
             let dirty = m.take_watch(p.watch_id);
-            match relocate_range(m, p.range, p.dst, p.node, self.copy_threads, false) {
+            let (res, report) =
+                relocate_with_retry(m, p.range, p.dst, p.node, self.copy_threads, false, self.retry);
+            self.stats.retried += report.retries as u64;
+            m.charge_migration(report.backoff_ns);
+            match res {
                 Ok(out) => {
                     let b = out.breakdown;
                     let mut critical = b.unmap_ns + b.remap_ns + b.pt_ns;
@@ -182,15 +252,20 @@ impl MigrationEngine {
                     m.charge_migration(critical);
                     self.stats.bytes += out.bytes;
                 }
-                Err(e) => {
-                    self.stats.dropped += 1;
-                    match e {
-                        MigrateError::NoSpace(_) => self.stats.dropped_nospace += 1,
-                        MigrateError::NothingMapped => self.stats.dropped_empty += 1,
-                    }
-                    m.obs_mut().reg.counter_add(obs::names::MIGRATIONS_DROPPED, 1);
-                    m.record_event(obs::EventKind::MigrationDropped { reason: drop_reason(e) });
+                Err(e) if e.is_transient() && p.attempts + 1 < MAX_ASYNC_ATTEMPTS => {
+                    // Nomad-style transactional abort: nothing moved (the
+                    // fault gate fires before any mutation), so the copy
+                    // is simply abandoned and the migration re-enqueued
+                    // for the next commit point with fresh write tracking.
+                    self.stats.aborted += 1;
+                    m.obs_mut().reg.counter_add(obs::names::MIGRATION_ABORTS, 1);
+                    m.record_event(obs::EventKind::MigrationAborted {
+                        bytes: p.range.len(),
+                        dst: p.dst,
+                    });
+                    self.enqueue_async(m, p.range, p.dst, p.node, p.attempts + 1);
                 }
+                Err(e) => self.drop_migration(m, e),
             }
         }
     }
@@ -201,6 +276,9 @@ fn drop_reason(e: MigrateError) -> &'static str {
     match e {
         MigrateError::NoSpace(_) => "nospace",
         MigrateError::NothingMapped => "empty",
+        MigrateError::PageBusy => "page-busy",
+        MigrateError::TransientAllocFail => "alloc-fail",
+        _ => "other",
     }
 }
 

@@ -77,6 +77,24 @@ pub mod names {
     /// Migrations dropped (no space, empty range, lost watch).
     pub const MIGRATIONS_DROPPED: &str = "migrations_dropped";
 
+    // -- per-run counters: fault injection & resilience ------------------
+    /// Migration attempts failed with an injected transient page-busy.
+    pub const FAULT_PAGE_BUSY: &str = "fault_page_busy_injected";
+    /// Migration attempts failed with an injected transient alloc failure.
+    pub const FAULT_ALLOC_FAIL: &str = "fault_alloc_fail_injected";
+    /// PEBS samples lost to injected drain drops.
+    pub const FAULT_PEBS_LOST: &str = "fault_pebs_samples_lost";
+    /// Hint-fault records lost to injected drain drops.
+    pub const FAULT_HINTS_LOST: &str = "fault_hint_faults_lost";
+    /// Migration attempts re-issued after a transient failure.
+    pub const MIGRATION_RETRIES: &str = "migration_retries";
+    /// Async migrations aborted transactionally and re-enqueued.
+    pub const MIGRATION_ABORTS: &str = "migrations_aborted";
+    /// Sync migrations downgraded to async after retry exhaustion.
+    pub const MIGRATION_DEFERRALS: &str = "migrations_deferred";
+    /// Migrations dropped after exhausting every resilience mechanism.
+    pub const MIGRATIONS_DROPPED_TRANSIENT: &str = "migrations_dropped_transient";
+
     // -- per-run gauges --------------------------------------------------
     /// τm at the end of the run (after any escalation/reset).
     pub const TAU_M_NOW: &str = "tau_m_now";
@@ -94,6 +112,8 @@ pub mod names {
     pub const PEBS_DRAIN_BATCH: &str = "pebs_drain_batch";
     /// Records per hint-fault drain.
     pub const HINT_DRAIN_BATCH: &str = "hint_drain_batch";
+    /// Virtual ns of backoff charged per retried migration.
+    pub const RETRY_BACKOFF_NS: &str = "retry_backoff_ns";
     /// Virtual ns of profiling work per manager interval hook.
     pub const SPAN_PROFILE_NS: &str = "span_profile_ns";
     /// Virtual ns of migration work per manager interval hook.

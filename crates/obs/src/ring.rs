@@ -44,6 +44,15 @@ pub enum EventKind {
     /// A requested migration was dropped (`reason`: "nospace", "empty" or
     /// "lost-watch").
     MigrationDropped { reason: &'static str },
+    /// A migration succeeded only after `retries` transient failures,
+    /// spending `backoff_ns` of virtual time backing off.
+    MigrationRetried { retries: u64, backoff_ns: u64 },
+    /// An in-flight async migration hit a transient fault, aborted
+    /// transactionally (nothing moved) and was re-enqueued.
+    MigrationAborted { bytes: u64, dst: ComponentId },
+    /// A synchronous migration exhausted its retry budget and was
+    /// downgraded to an asynchronous attempt (graceful degradation).
+    MigrationDeferred { bytes: u64, dst: ComponentId },
 }
 
 impl EventKind {
@@ -61,6 +70,9 @@ impl EventKind {
             EventKind::SwitchedSync { .. } => "switched_sync",
             EventKind::SyncDirect { .. } => "sync_direct",
             EventKind::MigrationDropped { .. } => "migration_dropped",
+            EventKind::MigrationRetried { .. } => "migration_retried",
+            EventKind::MigrationAborted { .. } => "migration_aborted",
+            EventKind::MigrationDeferred { .. } => "migration_deferred",
         }
     }
 
@@ -101,6 +113,15 @@ impl EventKind {
             EventKind::MigrationDropped { reason } => {
                 out.push_str(",\"reason\":");
                 json::write_str(reason, out);
+            }
+            EventKind::MigrationRetried { retries, backoff_ns } => {
+                u("retries", retries);
+                u("backoff_ns", backoff_ns);
+            }
+            EventKind::MigrationAborted { bytes, dst }
+            | EventKind::MigrationDeferred { bytes, dst } => {
+                u("bytes", bytes);
+                u("dst", dst as u64);
             }
         }
     }
@@ -242,6 +263,9 @@ mod tests {
             EventKind::SwitchedSync { bytes: 1, dst: 0 },
             EventKind::SyncDirect { bytes: 1, dst: 0 },
             EventKind::MigrationDropped { reason: "nospace" },
+            EventKind::MigrationRetried { retries: 2, backoff_ns: 40_000 },
+            EventKind::MigrationAborted { bytes: 1, dst: 0 },
+            EventKind::MigrationDeferred { bytes: 1, dst: 1 },
         ];
         let mut labels: Vec<_> = kinds.iter().map(|k| k.label()).collect();
         labels.sort_unstable();

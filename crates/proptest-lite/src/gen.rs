@@ -202,6 +202,8 @@ tuple_gen! {
     (A / a / 0, B / b / 1)
     (A / a / 0, B / b / 1, C / c / 2)
     (A / a / 0, B / b / 1, C / c / 2, D / d / 3)
+    (A / a / 0, B / b / 1, C / c / 2, D / d / 3, E / e / 4)
+    (A / a / 0, B / b / 1, C / c / 2, D / d / 3, E / e / 4, F / f / 5)
 }
 
 #[cfg(test)]

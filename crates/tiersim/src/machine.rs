@@ -214,6 +214,10 @@ pub struct Machine {
     /// Per-run observability recorder. Recording never touches the clock
     /// or any RNG, so instrumentation cannot perturb simulated results.
     pub(crate) recorder: obs::Recorder,
+    /// Fault-injection plane. Disabled by default: every query answers
+    /// "no fault" without consuming randomness, so a healthy run is
+    /// byte-identical to one built before this field existed.
+    pub(crate) faults: faultsim::FaultState,
 }
 
 impl Machine {
@@ -260,7 +264,26 @@ impl Machine {
             hmc_front,
             heat: HashMap::default(),
             recorder: obs::Recorder::new(),
+            faults: faultsim::FaultState::disabled(),
         }
+    }
+
+    /// Installs a fault-injection plan drawn from `seed`. The previous
+    /// plane (if any) is replaced wholesale; its stream restarts on the
+    /// next [`Machine::reset_measurement`].
+    pub fn install_faults(&mut self, plan: faultsim::FaultPlan, seed: u64) {
+        self.faults = faultsim::FaultState::new(plan, seed);
+    }
+
+    /// The fault-injection plane (read-only).
+    #[inline]
+    pub fn faults(&self) -> &faultsim::FaultState {
+        &self.faults
+    }
+
+    /// Injection counters accumulated so far.
+    pub fn fault_stats(&self) -> faultsim::FaultStats {
+        self.faults.stats()
     }
 
     /// The machine topology.
@@ -606,9 +629,18 @@ impl Machine {
         std::mem::take(&mut self.prot_faults)
     }
 
-    /// Drains captured hint faults.
+    /// Drains captured hint faults. An active fault plan may lose records
+    /// on the way out (the kernel's fault queue overran).
     pub fn drain_hint_faults(&mut self) -> Vec<crate::hintfault::HintFault> {
-        let faults = self.hints.drain();
+        let mut faults = self.hints.drain();
+        if self.faults.is_active() && !faults.is_empty() {
+            let before = faults.len();
+            faults.retain(|_| !self.faults.drop_hint());
+            let lost = (before - faults.len()) as u64;
+            if lost > 0 {
+                self.recorder.reg.counter_add(obs::names::FAULT_HINTS_LOST, lost);
+            }
+        }
         if !faults.is_empty() {
             self.recorder.reg.counter_add(obs::names::HINT_FAULTS_DRAINED, faults.len() as u64);
             self.recorder.reg.observe(obs::names::HINT_DRAIN_BATCH, faults.len() as u64);
@@ -638,9 +670,19 @@ impl Machine {
     }
 
     /// Drains PEBS samples, charging the per-sample processing cost to
-    /// profiling.
+    /// profiling. An active fault plan may drop samples before they reach
+    /// the consumer (ring-buffer overrun); dropped samples cost nothing
+    /// because they were never processed.
     pub fn drain_pebs(&mut self) -> Vec<crate::pebs::PebsSample> {
-        let samples = self.pebs.drain();
+        let mut samples = self.pebs.drain();
+        if self.faults.is_active() && !samples.is_empty() {
+            let before = samples.len();
+            samples.retain(|_| !self.faults.drop_pebs());
+            let lost = (before - samples.len()) as u64;
+            if lost > 0 {
+                self.recorder.reg.counter_add(obs::names::FAULT_PEBS_LOST, lost);
+            }
+        }
         self.clock.charge_profiling(samples.len() as f64 * self.cfg.costs.pebs_sample_ns);
         if !samples.is_empty() {
             self.recorder.reg.counter_add(obs::names::PEBS_SAMPLES_DRAINED, samples.len() as u64);
@@ -716,6 +758,9 @@ impl Machine {
         self.prot_faults.clear();
         self.hints.reset_stats();
         self.recorder = obs::Recorder::new();
+        // Rewind the injection stream so the measured run sees the same
+        // fault schedule a fresh machine would.
+        self.faults.reset();
     }
 
     /// The 2 MB-granularity access heatmap (empty unless `track_heat`).

@@ -61,12 +61,30 @@ pub struct MigrateOutcome {
 }
 
 /// Errors from migration primitives.
+///
+/// `#[non_exhaustive]` because the fault model grows: downstream crates
+/// must keep a wildcard arm, and new transient failure classes then land
+/// without breaking them.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum MigrateError {
     /// The destination cannot hold the pages being moved.
     NoSpace(OutOfMemory),
     /// The range contains no mapped pages.
     NothingMapped,
+    /// A page in the range is transiently busy/pinned (injected fault);
+    /// retrying later may succeed.
+    PageBusy,
+    /// Destination allocation failed transiently (injected fault);
+    /// retrying later may succeed.
+    TransientAllocFail,
+}
+
+impl MigrateError {
+    /// True for failures that a bounded retry may recover from.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, MigrateError::PageBusy | MigrateError::TransientAllocFail)
+    }
 }
 
 impl std::fmt::Display for MigrateError {
@@ -74,6 +92,10 @@ impl std::fmt::Display for MigrateError {
         match self {
             MigrateError::NoSpace(oom) => write!(f, "migration failed: {oom}"),
             MigrateError::NothingMapped => write!(f, "migration failed: no mapped pages in range"),
+            MigrateError::PageBusy => write!(f, "migration failed: page transiently busy/pinned"),
+            MigrateError::TransientAllocFail => {
+                write!(f, "migration failed: transient destination allocation failure")
+            }
         }
     }
 }
@@ -91,7 +113,11 @@ const SINGLE_THREAD_COPY_GBPS: f64 = 6.0;
 pub fn copy_bandwidth(m: &Machine, node: NodeId, src: ComponentId, dst: ComponentId, copy_threads: u32) -> f64 {
     let topo = m.topology();
     let link_cap = topo.link(node, src).bytes_per_ns().min(topo.link(node, dst).bytes_per_ns());
-    link_cap.min(SINGLE_THREAD_COPY_GBPS * copy_threads.max(1) as f64)
+    let bw = link_cap.min(SINGLE_THREAD_COPY_GBPS * copy_threads.max(1) as f64);
+    // An installed fault plan can degrade copy bandwidth in interval
+    // windows. The factor is exactly 1.0 outside every window, so the
+    // multiplication is an IEEE no-op on the healthy path.
+    bw * m.faults.bw_factor(m.clock.intervals())
 }
 
 /// The CPU node from which copying `src` -> `dst` is fastest.
@@ -202,6 +228,20 @@ pub fn relocate_range(
     copy_threads: u32,
     split_huge: bool,
 ) -> Result<MigrateOutcome, MigrateError> {
+    // Fault-injection gate. A transient failure aborts the attempt before
+    // any state is touched, so a failed migration is transactional:
+    // nothing moved, nothing to roll back (Nomad-style abort semantics
+    // come for free to every caller).
+    if m.faults.is_active() {
+        if m.faults.page_busy() {
+            m.recorder.reg.counter_add(obs::names::FAULT_PAGE_BUSY, 1);
+            return Err(MigrateError::PageBusy);
+        }
+        if m.faults.alloc_fail() {
+            m.recorder.reg.counter_add(obs::names::FAULT_ALLOC_FAIL, 1);
+            return Err(MigrateError::TransientAllocFail);
+        }
+    }
     if split_huge {
         for base in range.iter_pages_2m() {
             if matches!(m.pt.translate(base), Some(t) if t.size == FrameSize::Huge2M) {
@@ -278,6 +318,111 @@ pub fn relocate_range(
     m.recorder.reg.counter_add(obs::names::MIGRATIONS, 1);
     m.recorder.reg.observe(obs::names::MIGRATION_BYTES, out.bytes);
     Ok(out)
+}
+
+/// Bounded retry with exponential backoff for transient migration
+/// failures.
+///
+/// `max_attempts` counts *total* tries (so 1 disables retrying). Between
+/// attempt `i` and `i + 1` the caller is charged
+/// `min(base_backoff_ns * multiplier^(i-1), max_backoff_ns)` of virtual
+/// migration time — the cost of the failed kernel call plus the sleep a
+/// real retry loop would take.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum total attempts (>= 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, virtual ns.
+    pub base_backoff_ns: f64,
+    /// Multiplier applied to the backoff after each failed retry.
+    pub multiplier: f64,
+    /// Upper bound on a single backoff step, virtual ns.
+    pub max_backoff_ns: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff_ns: 20_000.0,
+            multiplier: 2.0,
+            max_backoff_ns: 500_000.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy { max_attempts: 1, ..RetryPolicy::default() }
+    }
+
+    /// Backoff charged after failed attempt number `attempt` (1-based).
+    pub fn backoff_ns(&self, attempt: u32) -> f64 {
+        (self.base_backoff_ns * self.multiplier.powi(attempt.saturating_sub(1) as i32))
+            .min(self.max_backoff_ns)
+    }
+
+    /// Worst-case total backoff a single migration can accumulate.
+    pub fn max_total_backoff_ns(&self) -> f64 {
+        (1..self.max_attempts).map(|a| self.backoff_ns(a)).sum()
+    }
+}
+
+/// What a [`relocate_with_retry`] call went through, success or not.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RetryReport {
+    /// Attempts made (1 = first try succeeded or failed permanently).
+    pub attempts: u32,
+    /// Retries after transient failures (`attempts - 1` unless a
+    /// permanent error cut the loop short).
+    pub retries: u32,
+    /// Total virtual backoff accumulated. The caller decides which clock
+    /// bucket it lands on (sync callers charge it to migration).
+    pub backoff_ns: f64,
+}
+
+/// [`relocate_range`] wrapped in bounded retry with exponential backoff.
+///
+/// Transient errors ([`MigrateError::is_transient`]) are retried up to
+/// `policy.max_attempts` total tries; permanent errors return
+/// immediately. The accumulated backoff is **not** charged to the machine
+/// clock here — it is reported so each caller can put it on the right
+/// critical path — but retry counters and the backoff histogram are
+/// recorded.
+pub fn relocate_with_retry(
+    m: &mut Machine,
+    range: VaRange,
+    dst: ComponentId,
+    node: NodeId,
+    copy_threads: u32,
+    split_huge: bool,
+    policy: RetryPolicy,
+) -> (Result<MigrateOutcome, MigrateError>, RetryReport) {
+    let mut report = RetryReport::default();
+    let max_attempts = policy.max_attempts.max(1);
+    loop {
+        report.attempts += 1;
+        match relocate_range(m, range, dst, node, copy_threads, split_huge) {
+            Ok(out) => {
+                if report.retries > 0 {
+                    m.recorder.reg.observe(obs::names::RETRY_BACKOFF_NS, report.backoff_ns as u64);
+                    let kind = obs::EventKind::MigrationRetried {
+                        retries: report.retries as u64,
+                        backoff_ns: report.backoff_ns as u64,
+                    };
+                    m.record_event(kind);
+                }
+                return (Ok(out), report);
+            }
+            Err(e) if e.is_transient() && report.attempts < max_attempts => {
+                report.retries += 1;
+                report.backoff_ns += policy.backoff_ns(report.attempts);
+                m.recorder.reg.counter_add(obs::names::MIGRATION_RETRIES, 1);
+            }
+            Err(e) => return (Err(e), report),
+        }
+    }
 }
 
 /// The Linux `move_pages()` baseline: sequential 4 KB migration with every
@@ -413,5 +558,129 @@ mod tests {
         // Slow tier link is 5 GB/s; even 8 threads cannot exceed it.
         let bw = copy_bandwidth(&m, 0, 0, 1, 8);
         assert!((bw - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn migrate_error_display_and_error_trait() {
+        let busy = MigrateError::PageBusy;
+        let alloc = MigrateError::TransientAllocFail;
+        let mapped = MigrateError::NothingMapped;
+        assert_eq!(busy.to_string(), "migration failed: page transiently busy/pinned");
+        assert_eq!(
+            alloc.to_string(),
+            "migration failed: transient destination allocation failure"
+        );
+        assert_eq!(mapped.to_string(), "migration failed: no mapped pages in range");
+        assert!(busy.is_transient() && alloc.is_transient());
+        assert!(!mapped.is_transient());
+        // The enum is a real std error: it coerces to `dyn Error` and the
+        // trait's Display passthrough matches.
+        let boxed: Box<dyn std::error::Error> = Box::new(busy);
+        assert_eq!(boxed.to_string(), busy.to_string());
+    }
+
+    /// A seed whose first `page_busy` roll fires and whose second does
+    /// not, so a retry test has exactly one deterministic failure.
+    fn seed_with_one_busy_then_clear(plan: &faultsim::FaultPlan) -> u64 {
+        (0..10_000u64)
+            .find(|&s| {
+                let mut probe = faultsim::FaultState::new(plan.clone(), s);
+                probe.page_busy() && !probe.page_busy()
+            })
+            .expect("some seed fails once then clears")
+    }
+
+    #[test]
+    fn injected_fault_is_transactional_and_retry_recovers() {
+        let plan = faultsim::FaultPlan::parse("busy=0.5").unwrap();
+        let seed = seed_with_one_busy_then_clear(&plan);
+        let mut m = machine();
+        let range = VaRange::from_len(VirtAddr(0), PAGE_SIZE_2M);
+        m.prefault_range(range, &[0]).unwrap();
+        m.install_faults(plan, seed);
+        let policy = RetryPolicy::default();
+        let (res, report) = relocate_with_retry(&mut m, range, 1, 0, 1, false, policy);
+        let out = res.expect("second attempt succeeds");
+        assert_eq!(out.pages, 512);
+        assert_eq!(report.attempts, 2);
+        assert_eq!(report.retries, 1);
+        assert_eq!(report.backoff_ns, policy.backoff_ns(1));
+        // The failed attempt was transactional: no leaked destination
+        // frames, exactly one region's worth ends up resident.
+        assert_eq!(m.allocator(1).used(), PAGE_SIZE_2M);
+        assert_eq!(m.allocator(0).used(), 0);
+        assert_eq!(m.recorder.reg.counter(obs::names::MIGRATION_RETRIES), 1);
+        assert_eq!(m.recorder.reg.counter(obs::names::FAULT_PAGE_BUSY), 1);
+    }
+
+    #[test]
+    fn retry_exhaustion_respects_attempt_bound() {
+        let plan = faultsim::FaultPlan::parse("busy=1").unwrap();
+        let mut m = machine();
+        let range = VaRange::from_len(VirtAddr(0), PAGE_SIZE_2M);
+        m.prefault_range(range, &[0]).unwrap();
+        m.install_faults(plan, 7);
+        let policy = RetryPolicy::default();
+        let (res, report) = relocate_with_retry(&mut m, range, 1, 0, 1, false, policy);
+        assert!(matches!(res, Err(MigrateError::PageBusy)));
+        assert_eq!(report.attempts, policy.max_attempts);
+        assert_eq!(report.retries, policy.max_attempts - 1);
+        assert_eq!(report.backoff_ns, policy.max_total_backoff_ns());
+        // All attempts aborted before touching the machine.
+        assert_eq!(m.allocator(1).used(), 0);
+        assert_eq!(m.stats().pages_migrated, 0);
+    }
+
+    #[test]
+    fn permanent_errors_are_not_retried() {
+        let topo = tiny_two_tier(8 * PAGE_SIZE_2M, 2 * PAGE_SIZE_2M);
+        let mut m = Machine::new(MachineConfig::new(topo, 1));
+        m.mmap("a", VaRange::from_len(VirtAddr(0), 8 * PAGE_SIZE_2M), false);
+        m.prefault_range(VaRange::from_len(VirtAddr(0), 4 * PAGE_SIZE_2M), &[0]).unwrap();
+        let (res, report) = relocate_with_retry(
+            &mut m,
+            VaRange::from_len(VirtAddr(0), 4 * PAGE_SIZE_2M),
+            1,
+            0,
+            1,
+            false,
+            RetryPolicy::default(),
+        );
+        assert!(matches!(res, Err(MigrateError::NoSpace(_))));
+        assert_eq!(report.attempts, 1, "NoSpace is permanent: no retry");
+        assert_eq!(report.retries, 0);
+        assert_eq!(report.backoff_ns, 0.0);
+    }
+
+    #[test]
+    fn thp_split_fallback_survives_a_transient_failure() {
+        // The fragmented-destination THP scenario, now with one injected
+        // transient failure in front: the retry must still find the
+        // split-and-move fallback.
+        let plan = faultsim::FaultPlan::parse("busy=0.5").unwrap();
+        let seed = seed_with_one_busy_then_clear(&plan);
+        let topo = tiny_two_tier(8 * PAGE_SIZE_2M, 2 * PAGE_SIZE_2M);
+        let mut m = Machine::new(MachineConfig::new(topo, 1));
+        m.mmap("thp", VaRange::from_len(VirtAddr(0), 2 * PAGE_SIZE_2M), true);
+        m.prefault_range(VaRange::from_len(VirtAddr(0), PAGE_SIZE_2M), &[0]).unwrap();
+        let a = m.allocators_mut_for_test(1).alloc(FrameSize::Base4K).unwrap();
+        let _b = m.allocators_mut_for_test(1).alloc(FrameSize::Huge2M).unwrap();
+        m.allocators_mut_for_test(1).free_frame(a, FrameSize::Base4K);
+        m.install_faults(plan, seed);
+        let (res, report) = relocate_with_retry(
+            &mut m,
+            VaRange::from_len(VirtAddr(0), PAGE_SIZE_2M),
+            1,
+            0,
+            1,
+            false,
+            RetryPolicy::default(),
+        );
+        let out = res.expect("retry then split-and-move");
+        assert_eq!(report.retries, 1);
+        assert_eq!(out.pages, 512, "moved as base pages after the split");
+        let t = m.page_table().translate(VirtAddr(0)).unwrap();
+        assert_eq!(t.size, FrameSize::Base4K);
+        assert_eq!(t.pte.frame().component(), 1);
     }
 }

@@ -57,4 +57,21 @@ if ! cargo run --release -q -p mtm-harness --bin telemetry_check; then
     exit 1
 fi
 
+# Resilience smoke: the fault-injection sweep (bin/resilience) across all
+# managers in quick mode at the default seed (so the overwritten
+# results/resilience.txt matches the committed artifact byte for byte).
+# Exercises the FaultPlan parser, the retry/abort/deferral machinery and
+# the robustness table end to end; the warning: gate applies here too.
+echo "==> resilience smoke (MTM_QUICK=1 MTM_JOBS=4)"
+if ! MTM_QUICK=1 MTM_JOBS=4 cargo run --release -q -p mtm-harness --bin resilience \
+        >/dev/null 2>"$smoke_err"; then
+    cat "$smoke_err" >&2
+    echo "verify: FAIL (resilience smoke run failed)"
+    exit 1
+fi
+if grep -E '^warning:' "$smoke_err"; then
+    echo "verify: FAIL (warning lines on resilience stderr, see above)"
+    exit 1
+fi
+
 echo "verify: OK"

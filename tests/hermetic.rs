@@ -124,8 +124,8 @@ fn workspace_manifests() -> Vec<PathBuf> {
 fn every_dependency_is_an_in_workspace_path() {
     let manifests = workspace_manifests();
     assert!(
-        manifests.len() >= 7,
-        "expected the root + >=6 crate manifests, found {}",
+        manifests.len() >= 10,
+        "expected the root + >=9 crate manifests (incl. crates/faultsim), found {}",
         manifests.len()
     );
     let mut total = 0;

@@ -8,6 +8,7 @@ use proptest_lite::{gen, prop_assert, prop_assert_eq, prop_check};
 use tiersim::addr::{VaRange, VirtAddr, PAGE_SIZE_2M, PAGE_SIZE_4K};
 use tiersim::frame::{FrameAllocator, FrameSize};
 use tiersim::machine::{AccessKind, Machine, MachineConfig};
+use tiersim::migrate::{relocate_with_retry, RetryPolicy};
 use tiersim::tier::tiny_two_tier;
 
 fn region_list(chunks: u64) -> RegionList {
@@ -259,6 +260,84 @@ fn migration_preserves_data_and_accounting() {
                 let t = m.page_table().translate(va).unwrap();
                 prop_assert_eq!(t.pte.frame().component(), dst);
                 prop_assert_eq!(m.frame_version(t.pte.frame()), count, "writes survived the move");
+            }
+        }
+    );
+}
+
+/// A fault plan replays identically for the same seed: the decision
+/// sequence, the stats, and a post-`reset` replay all match, whatever
+/// the probabilities or the interleaving of fault classes.
+#[test]
+fn fault_plan_replay_is_deterministic() {
+    prop_check!(
+        "fault_plan_replay_is_deterministic",
+        64,
+        (
+            gen::u64_range(0, 1 << 48),
+            gen::f64_range(0.0, 1.0),
+            gen::f64_range(0.0, 1.0),
+            gen::f64_range(0.0, 1.0),
+            gen::f64_range(0.0, 1.0),
+            gen::vec_in(gen::u8_range(0, 3), 1, 64),
+        ),
+        |(seed, busy, allocfail, droppebs, drophint, ops)| {
+            let spec =
+                format!("busy={busy},allocfail={allocfail},droppebs={droppebs},drophint={drophint}");
+            let plan = faultsim::FaultPlan::parse(&spec).unwrap();
+            let mut a = faultsim::FaultState::new(plan.clone(), *seed);
+            let mut b = faultsim::FaultState::new(plan, *seed);
+            let run = |st: &mut faultsim::FaultState| -> Vec<bool> {
+                ops.iter()
+                    .map(|&op| match op {
+                        0 => st.page_busy(),
+                        1 => st.alloc_fail(),
+                        2 => st.drop_pebs(),
+                        _ => st.drop_hint(),
+                    })
+                    .collect()
+            };
+            let ra = run(&mut a);
+            let rb = run(&mut b);
+            prop_assert_eq!(&ra, &rb, "same seed, same decisions");
+            prop_assert_eq!(a.stats(), b.stats());
+            a.reset();
+            prop_assert_eq!(a.stats().total(), 0, "reset clears the stats");
+            let replay = run(&mut a);
+            prop_assert_eq!(replay, ra, "reset rewinds to an identical stream");
+        }
+    );
+}
+
+/// Bounded retry never exceeds its attempt budget, its accumulated
+/// backoff never exceeds the policy's worst case, and only injected
+/// transient errors can make it fail — for any fault probability, seed
+/// and attempt bound.
+#[test]
+fn retry_never_exceeds_attempt_bound() {
+    prop_check!(
+        "retry_never_exceeds_attempt_bound",
+        48,
+        (gen::f64_range(0.0, 1.0), gen::u64_range(0, 10_000), gen::u8_range(1, 6)),
+        |(busy, seed, max_attempts)| {
+            let topo = tiny_two_tier(8 * PAGE_SIZE_2M, 8 * PAGE_SIZE_2M);
+            let mut m = Machine::new(MachineConfig::new(topo, 1));
+            let range = VaRange::from_len(VirtAddr(0), PAGE_SIZE_2M);
+            m.mmap("p", range, false);
+            m.prefault_range(range, &[0]).unwrap();
+            let plan = faultsim::FaultPlan::parse(&format!("busy={busy},allocfail=0.2")).unwrap();
+            m.install_faults(plan, *seed);
+            let policy =
+                RetryPolicy { max_attempts: *max_attempts as u32, ..RetryPolicy::default() };
+            let (res, report) = relocate_with_retry(&mut m, range, 1, 0, 1, false, policy);
+            prop_assert!(report.attempts >= 1 && report.attempts <= policy.max_attempts);
+            prop_assert_eq!(report.retries, report.attempts - 1);
+            prop_assert!(report.backoff_ns <= policy.max_total_backoff_ns() + 1e-9);
+            match res {
+                Ok(out) => prop_assert_eq!(out.pages, 512),
+                Err(e) => {
+                    prop_assert!(e.is_transient(), "only injected transients can fail here")
+                }
             }
         }
     );
