@@ -9,7 +9,7 @@
 //! paper evaluates: hot-page selection by hint-fault latency and automatic
 //! hot-threshold adjustment to match the promotion rate limit.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use tiersim::addr::{VaRange, VirtAddr, PAGE_SIZE_4K};
 use tiersim::machine::Machine;
@@ -30,8 +30,8 @@ pub struct AutoNuma {
     promote_budget: u64,
     /// Fault history: page -> intervals in which it faulted (vanilla's
     /// two-pass rule) and the interval of the last fault.
-    fault_count: HashMap<u64, u32>,
-    chunk_last_fault: HashMap<u64, u64>,
+    fault_count: BTreeMap<u64, u32>,
+    chunk_last_fault: BTreeMap<u64, u64>,
     hot_bytes_sum: u64,
     intervals: u64,
 }
@@ -55,8 +55,8 @@ impl AutoNuma {
             cursor_page: 0,
             hot_threshold_ns: f64::INFINITY,
             promote_budget,
-            fault_count: HashMap::new(),
-            chunk_last_fault: HashMap::new(),
+            fault_count: BTreeMap::new(),
+            chunk_last_fault: BTreeMap::new(),
             hot_bytes_sum: 0,
             intervals: 0,
         }

@@ -9,7 +9,7 @@
 //! machine whose PEBS monitors *all* components ([`hemem_pebs_config`]),
 //! matching its use of both DRAM and NVM read events.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use tiersim::addr::{VaRange, VirtAddr, PAGE_SIZE_2M, PAGE_SIZE_4K};
 use tiersim::machine::Machine;
@@ -27,7 +27,7 @@ pub fn hemem_pebs_config(topology: &Topology) -> PebsConfig {
 /// The HeMem baseline.
 pub struct HeMem {
     /// Sample counts per 4 KB page (cooled periodically).
-    counts: HashMap<u64, u32>,
+    counts: BTreeMap<u64, u32>,
     /// Promotion threshold in samples per interval window.
     hot_threshold: u32,
     /// Cool (halve) counts every this many intervals.
@@ -45,7 +45,7 @@ impl HeMem {
     /// Creates a HeMem manager for the local tiers of node 0.
     pub fn new(promote_budget: u64) -> HeMem {
         HeMem {
-            counts: HashMap::new(),
+            counts: BTreeMap::new(),
             hot_threshold: 2,
             cool_every: 4,
             watermark: 0.95,

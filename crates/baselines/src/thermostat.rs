@@ -9,7 +9,7 @@
 //! everything in the fast tier and demotes regions classified cold;
 //! regions that turn hot again are promoted back.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use tiersim::addr::{VaRange, VirtAddr, PAGE_SIZE_4K};
 use tiersim::machine::Machine;
@@ -23,9 +23,9 @@ use crate::util::{migrate_sync, vma_chunks};
 pub struct Thermostat {
     chunks: Vec<VaRange>,
     /// Faults observed per chunk in the current interval window.
-    chunk_faults: HashMap<u64, u32>,
+    chunk_faults: BTreeMap<u64, u32>,
     /// Consecutive cold intervals per chunk.
-    cold_streak: HashMap<u64, u32>,
+    cold_streak: BTreeMap<u64, u32>,
     /// Demote a chunk after this many cold intervals.
     cold_patience: u32,
     demote_budget: u64,
@@ -44,8 +44,8 @@ impl Thermostat {
     pub fn new(demote_budget: u64) -> Thermostat {
         Thermostat {
             chunks: Vec::new(),
-            chunk_faults: HashMap::new(),
-            cold_streak: HashMap::new(),
+            chunk_faults: BTreeMap::new(),
+            cold_streak: BTreeMap::new(),
             cold_patience: 2,
             demote_budget,
             fast: 0,

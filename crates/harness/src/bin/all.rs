@@ -12,6 +12,7 @@ use mtm_harness::runs::{prewarm, run_cache_stats, OVERALL_MANAGERS, WORKLOADS};
 fn main() {
     let opts = mtm_harness::Opts::from_env();
     eprintln!("running with {opts:?} on {} worker(s)", mtm_harness::runpool::jobs());
+    // lint:allow(wall-clock): stderr progress timing only; never reaches reports
     let t_all = std::time::Instant::now();
 
     // Everything fig4/fig5/table3/table5/table7 and fig7 will ask for.
@@ -22,6 +23,7 @@ fn main() {
     let mut combined = String::new();
     for e in mtm_harness::experiments() {
         eprintln!("==> {} ({})", e.id, e.title);
+        // lint:allow(wall-clock): stderr progress timing only; never reaches reports
         let t0 = std::time::Instant::now();
         let out = (e.run)(&opts);
         eprintln!("    done in {:.1}s", t0.elapsed().as_secs_f64());

@@ -9,8 +9,8 @@
 //! the same runs (Fig. 4/5, Tables 3/5/7, Fig. 7, ...) render from warm
 //! cache hits.
 
-use std::collections::hash_map::Entry;
-use std::collections::HashMap;
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Instant;
 
@@ -156,6 +156,32 @@ pub fn run_pair_with_faults(
     run_scenario(&mut machine, mgr.as_mut(), wl.as_mut(), opts.intervals)
 }
 
+/// Like [`run_pair_with_faults`], but with the shadow-state sanitizer
+/// armed for the whole run regardless of `MTM_CHECK`, and a final
+/// consistency sweep after the last interval. Panics on any invariant
+/// violation; otherwise returns the same report an unchecked run
+/// produces (the sanitizer is read-only).
+pub fn run_pair_checked(
+    manager: &str,
+    workload: &str,
+    opts: &Opts,
+    faults: Option<(faultsim::FaultPlan, u64)>,
+) -> RunReport {
+    let topo = optane_four_tier(opts.scale);
+    let mut machine = healthy_machine_for(manager, opts, topo.clone());
+    if let Some((plan, seed)) = faults {
+        machine.install_faults(plan, seed);
+    }
+    machine.set_checking(true);
+    let mut mgr = build_manager(manager, opts, &topo);
+    let mut wl: Box<dyn Workload> =
+        mtm_workloads::build_paper_workload(workload, opts.scale, opts.threads)
+            .unwrap_or_else(|| panic!("unknown workload {workload:?}"));
+    let report = run_scenario(&mut machine, mgr.as_mut(), wl.as_mut(), opts.intervals);
+    machine.verify_consistency("end of run");
+    report
+}
+
 type Key = ((u64, usize, u64, u64), String, String);
 
 /// One cache entry. `Pending` while the owning caller executes the run,
@@ -178,11 +204,11 @@ impl Slot {
     }
 }
 
-type Cache = Mutex<HashMap<Key, Arc<Slot>>>;
+type Cache = Mutex<BTreeMap<Key, Arc<Slot>>>;
 
 fn cache() -> &'static Cache {
     static CACHE: OnceLock<Cache> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+    CACHE.get_or_init(|| Mutex::new(BTreeMap::new()))
 }
 
 /// Cache-effectiveness counters for the single-flight run cache.
@@ -257,6 +283,7 @@ pub fn cached_run_traced(manager: &str, workload: &str, opts: &Opts) -> (Arc<Run
         if owner {
             obs::shared().add(obs::names::RUN_CACHE_MISSES, 1);
             eprintln!("[run] {manager}/{workload}: started");
+            // lint:allow(wall-clock): stderr progress timing only; never reaches reports
             let t0 = Instant::now();
             let mut guard = OwnerGuard { key: &key, slot: &slot, published: false };
             let report = Arc::new(run_pair(manager, workload, opts));
@@ -314,6 +341,7 @@ pub fn prewarm(pairs: &[(&str, &str)], opts: &Opts) {
     if todo.is_empty() {
         return;
     }
+    // lint:allow(wall-clock): stderr progress timing only; never reaches reports
     let t0 = Instant::now();
     let n = todo.len();
     let workers = crate::runpool::jobs().min(n);

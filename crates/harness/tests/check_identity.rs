@@ -1,0 +1,54 @@
+//! `MTM_CHECK` behavioural-identity and sweep tests: the sanitizer is
+//! read-only, so a checked run must produce a report identical to an
+//! unchecked one, and the full manager x workload matrix must pass a
+//! checked run with zero invariant violations.
+
+use mtm_harness::opts::Opts;
+use mtm_harness::resilience::RESILIENCE_MANAGERS;
+use mtm_harness::runs::{run_pair_checked, run_pair_with_faults, WORKLOADS};
+
+/// Small-but-representative options for the checked sweep: large enough
+/// that every manager actually migrates, small enough that 48 uncached
+/// runs stay CI-sized.
+fn sweep_opts() -> Opts {
+    let mut o = Opts::quick();
+    o.scale = 8192;
+    o.threads = 2;
+    o.intervals = 6;
+    o.interval_ns = 5.0e5;
+    o
+}
+
+#[test]
+fn checked_run_is_behaviourally_identical() {
+    let opts = Opts::quick();
+    let checked = run_pair_checked("MTM", "GUPS", &opts, None);
+    let unchecked = run_pair_with_faults("MTM", "GUPS", &opts, None);
+    // The sanitizer only observes: same simulation, same report, down to
+    // every counter and telemetry event.
+    assert_eq!(
+        format!("{checked:?}"),
+        format!("{unchecked:?}"),
+        "MTM_CHECK perturbed the simulation"
+    );
+}
+
+#[test]
+fn checked_matrix_passes_all_managers_and_workloads() {
+    let opts = sweep_opts();
+    std::thread::scope(|scope| {
+        for manager in RESILIENCE_MANAGERS {
+            scope.spawn(move || {
+                for workload in WORKLOADS {
+                    // Panics (with the structured MTM_CHECK message) on
+                    // any invariant violation mid-run or at the end.
+                    let report = run_pair_checked(manager, workload, &opts, None);
+                    assert!(
+                        report.ops_completed > 0,
+                        "{manager} x {workload}: no work completed"
+                    );
+                }
+            });
+        }
+    });
+}

@@ -1,0 +1,39 @@
+//! Workspace determinism lint driver.
+//!
+//! Usage: `cargo run -p mtm-lint --bin lint [-- <root>]`
+//!
+//! Scans every workspace `.rs` file and Cargo manifest against the
+//! repo-specific rules (D1–D5, H1; see the crate docs), prints findings
+//! as `file:line: rule: message`, and exits nonzero if any survive the
+//! `lint.toml` allowlist. `scripts/verify.sh` gates on a clean run.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args().nth(1).map(PathBuf::from).unwrap_or_else(|| {
+        // crates/lint -> crates -> workspace root
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(|p| p.parent())
+            .map(|p| p.to_path_buf())
+            .unwrap_or_else(|| PathBuf::from("."))
+    });
+    match mtm_lint::run(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("lint: OK ({} sources scanned)", mtm_lint::workspace_sources(&root).len());
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            eprintln!("lint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("lint: error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

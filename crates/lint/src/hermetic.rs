@@ -1,0 +1,211 @@
+//! Rule H1: hermetic-build policy over Cargo manifests.
+//!
+//! The build environment has no registry access, so every dependency in
+//! the workspace must be an in-workspace `path` dependency (directly or
+//! via `workspace = true` indirection into `[workspace.dependencies]`,
+//! which is itself checked). A `rand = "0.8"`-style registry entry
+//! anywhere would kill every build, test and bench — the lint makes that
+//! a loud, local finding instead of a resolver error. Ported from the
+//! original `tests/hermetic.rs` (now a thin wrapper over this module),
+//! with line numbers attached so findings render like the source rules.
+
+use crate::{Finding, Rule};
+use std::path::{Path, PathBuf};
+
+/// Section headers whose entries declare dependencies.
+fn is_dependency_section(header: &str) -> bool {
+    let h = header.trim_matches(|c| c == '[' || c == ']');
+    h == "dependencies"
+        || h == "dev-dependencies"
+        || h == "build-dependencies"
+        || h == "workspace.dependencies"
+        || (h.starts_with("target.") && h.ends_with("dependencies"))
+        || h.starts_with("dependencies.")
+        || h.starts_with("dev-dependencies.")
+        || h.starts_with("build-dependencies.")
+        || h.starts_with("workspace.dependencies.")
+}
+
+/// A single declared dependency: name, accumulated spec text, and the
+/// 1-based line the declaration starts on.
+#[derive(Debug)]
+pub struct Dep {
+    /// Dependency name as written in the manifest.
+    pub name: String,
+    /// Spec text (inline value, or the flattened `[dependencies.x]` table).
+    pub spec: String,
+    /// 1-based line of the declaration.
+    pub line: usize,
+}
+
+impl Dep {
+    /// A dependency is hermetic when it resolves inside the workspace:
+    /// an inline `path = ...` table, or `workspace = true` indirection
+    /// (the `[workspace.dependencies]` entries are themselves checked).
+    pub fn is_hermetic(&self) -> bool {
+        self.spec.contains("path =")
+            || self.spec.contains("path=")
+            || self.spec.contains("workspace = true")
+            || self.spec.contains("workspace=true")
+            || self.spec.trim_end().ends_with(".workspace = true")
+    }
+}
+
+/// Minimal line-oriented scan of manifest text: tracks `[section]`
+/// headers and collects `name = spec` lines inside dependency sections,
+/// plus `[dependencies.<name>]` table-style declarations.
+pub fn collect_deps(text: &str) -> Vec<Dep> {
+    let mut deps = Vec::new();
+    let mut in_dep_section = false;
+    let mut table_dep: Option<Dep> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            if let Some(dep) = table_dep.take() {
+                deps.push(dep);
+            }
+            in_dep_section = is_dependency_section(line);
+            // `[dependencies.foo]` style: the whole table is one spec.
+            if in_dep_section {
+                let h = line.trim_matches(|c| c == '[' || c == ']');
+                if let Some(name) = h
+                    .strip_prefix("dependencies.")
+                    .or_else(|| h.strip_prefix("dev-dependencies."))
+                    .or_else(|| h.strip_prefix("build-dependencies."))
+                    .or_else(|| h.strip_prefix("workspace.dependencies."))
+                {
+                    table_dep = Some(Dep { name: name.to_string(), spec: String::new(), line: idx + 1 });
+                }
+            }
+            continue;
+        }
+        if !in_dep_section {
+            continue;
+        }
+        if let Some(dep) = table_dep.as_mut() {
+            dep.spec.push_str(line);
+            dep.spec.push(' ');
+        } else if let Some((name, spec)) = line.split_once('=') {
+            deps.push(Dep {
+                name: name.trim().to_string(),
+                spec: format!("{} = {}", name.trim(), spec.trim()),
+                line: idx + 1,
+            });
+        }
+    }
+    if let Some(dep) = table_dep.take() {
+        deps.push(dep);
+    }
+    deps
+}
+
+/// Scans one manifest's text for H1 findings: non-path/workspace
+/// dependencies, `[patch]` sections, and git sources. `rel` is the
+/// workspace-relative manifest path used in findings.
+pub fn check_manifest_text(rel: &str, text: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for dep in collect_deps(text) {
+        if !dep.is_hermetic() {
+            out.push(Finding {
+                path: rel.to_string(),
+                line: dep.line,
+                rule: Rule::HermeticDep,
+                message: format!(
+                    "`{}` is not a path/workspace dependency ({}); registry deps break the offline build",
+                    dep.name,
+                    dep.spec.trim()
+                ),
+            });
+        }
+    }
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("");
+        if line.contains("[patch") {
+            out.push(Finding {
+                path: rel.to_string(),
+                line: idx + 1,
+                rule: Rule::HermeticDep,
+                message: "[patch] sections are registry/git indirection".to_string(),
+            });
+        }
+        if line.contains("git =") || line.contains("git=\"") {
+            out.push(Finding {
+                path: rel.to_string(),
+                line: idx + 1,
+                rule: Rule::HermeticDep,
+                message: format!("git dependencies are not fetchable offline: {}", line.trim()),
+            });
+        }
+    }
+    out
+}
+
+/// Root manifest plus every `crates/*/Cargo.toml` (the workspace member
+/// glob), discovered from the filesystem so a new crate is covered
+/// automatically. Sorted for deterministic output.
+pub fn workspace_manifests(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut manifests = vec![root.join("Cargo.toml")];
+    let crates = root.join("crates");
+    let entries =
+        std::fs::read_dir(&crates).map_err(|e| format!("read {}: {e}", crates.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read {}: {e}", crates.display()))?;
+        let manifest = entry.path().join("Cargo.toml");
+        if manifest.is_file() {
+            manifests.push(manifest);
+        }
+    }
+    manifests.sort();
+    Ok(manifests)
+}
+
+/// Full H1 pass over the workspace: per-manifest text checks plus the
+/// filesystem check that every `path = "..."` stays inside the repo.
+pub fn scan_manifests(root: &Path) -> Result<Vec<Finding>, String> {
+    let mut out = Vec::new();
+    let canonical_root = root
+        .canonicalize()
+        .map_err(|e| format!("canonicalize {}: {e}", root.display()))?;
+    for manifest in workspace_manifests(root)? {
+        let rel = manifest
+            .strip_prefix(root)
+            .unwrap_or(&manifest)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let text = std::fs::read_to_string(&manifest)
+            .map_err(|e| format!("read {}: {e}", manifest.display()))?;
+        out.extend(check_manifest_text(&rel, &text));
+        // Path escape check needs the filesystem, so it lives here rather
+        // than in check_manifest_text.
+        for dep in collect_deps(&text) {
+            let Some(path_part) = dep.spec.split("path").nth(1) else { continue };
+            let Some(value) = path_part.split('"').nth(1) else { continue };
+            let resolved = manifest.parent().unwrap_or(root).join(value);
+            match resolved.canonicalize() {
+                Ok(canonical) if canonical.starts_with(&canonical_root) => {}
+                Ok(canonical) => out.push(Finding {
+                    path: rel.clone(),
+                    line: dep.line,
+                    rule: Rule::HermeticDep,
+                    message: format!(
+                        "`{}` escapes the workspace: {}",
+                        dep.name,
+                        canonical.display()
+                    ),
+                }),
+                Err(e) => out.push(Finding {
+                    path: rel.clone(),
+                    line: dep.line,
+                    rule: Rule::HermeticDep,
+                    message: format!("`{}` path {value}: {e}", dep.name),
+                }),
+            }
+        }
+    }
+    Ok(out)
+}

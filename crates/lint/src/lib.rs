@@ -1,0 +1,571 @@
+//! Repo-specific determinism lint.
+//!
+//! rustc and clippy cannot know that this workspace's value rests on
+//! byte-reproducible reports: no wall-clock reads in decision paths, no
+//! hasher-seed-dependent iteration in anything that prints, no entropy,
+//! no panicking shortcuts inside the transactional migration paths, and
+//! no dependency the offline build cannot resolve. This crate enforces
+//! those policies at the token level — a lightweight scanner (no
+//! syn/proc-macro) that is string-safe and comment-safe, so `"HashMap"`
+//! in a string literal or `Instant::now` in a doc comment never trips a
+//! rule.
+//!
+//! Rules:
+//! - **D1 wall-clock** — `Instant::now`/`SystemTime::now` outside
+//!   `crates/bench`.
+//! - **D2 unordered-map** — `HashMap`/`HashSet` in report/decision
+//!   crates (`mtm`, `baselines`, `harness`, `tiersim`, `obs`) without a
+//!   justified `// lint:allow(unordered-map): <reason>` annotation.
+//! - **D3 entropy** — `rand`-style entropy sources anywhere.
+//! - **D4 non-exhaustive-error** — public `*Error` enums must carry
+//!   `#[non_exhaustive]`.
+//! - **D5 no-unwrap** — `.unwrap()`/`.expect(` in the transactional
+//!   migration paths (`tiersim::migrate`, `mtm::migration`).
+//! - **H1 hermetic-dep** — every manifest dependency must resolve
+//!   inside the workspace (see [`hermetic`]).
+//!
+//! Test code is exempt: files under `tests/`/`benches/` and `#[cfg(test)]`
+//! regions. Line-level exceptions use `// lint:allow(<slug>): <reason>`
+//! (same line or the comment line directly above); repo-wide exceptions
+//! live in `lint.toml` (`allow <slug> <path-substring>` lines).
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+pub mod hermetic;
+
+/// The lint rules, in reporting order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// D1: wall-clock time outside `crates/bench`.
+    WallClock,
+    /// D2: iteration-order-unstable collections in report/decision crates.
+    UnorderedMap,
+    /// D3: entropy sources anywhere.
+    Entropy,
+    /// D4: public error enums must be `#[non_exhaustive]`.
+    NonExhaustiveError,
+    /// D5: panicking shortcuts in transactional migration paths.
+    NoUnwrap,
+    /// H1: non-hermetic manifest dependency.
+    HermeticDep,
+}
+
+impl Rule {
+    /// Short rule code (`D1`..`D5`, `H1`).
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::WallClock => "D1",
+            Rule::UnorderedMap => "D2",
+            Rule::Entropy => "D3",
+            Rule::NonExhaustiveError => "D4",
+            Rule::NoUnwrap => "D5",
+            Rule::HermeticDep => "H1",
+        }
+    }
+
+    /// Stable slug used in `lint:allow(...)` annotations and `lint.toml`.
+    pub fn slug(self) -> &'static str {
+        match self {
+            Rule::WallClock => "wall-clock",
+            Rule::UnorderedMap => "unordered-map",
+            Rule::Entropy => "entropy",
+            Rule::NonExhaustiveError => "non-exhaustive-error",
+            Rule::NoUnwrap => "no-unwrap",
+            Rule::HermeticDep => "hermetic-dep",
+        }
+    }
+}
+
+/// One lint finding, displayed as `file:line: CODE/slug: message`.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Path relative to the workspace root (forward slashes).
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The violated rule.
+    pub rule: Rule,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}/{}: {}",
+            self.path,
+            self.line,
+            self.rule.code(),
+            self.rule.slug(),
+            self.message
+        )
+    }
+}
+
+/// One `lint.toml` allowlist entry: suppress `slug` findings in any file
+/// whose relative path contains `path_substr`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Allow {
+    /// Rule slug the entry suppresses.
+    pub slug: String,
+    /// Substring matched against the finding's relative path.
+    pub path_substr: String,
+}
+
+/// Parses the plain-text allowlist: `#` comment lines, blank lines, and
+/// `allow <slug> <path-substring>` entries (trailing `# reason` ignored).
+pub fn parse_allowlist(text: &str) -> Result<Vec<Allow>, String> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut toks = line.split_whitespace();
+        let (verb, slug, path) = (toks.next(), toks.next(), toks.next());
+        match (verb, slug, path) {
+            (Some("allow"), Some(slug), Some(path)) => {
+                let rest = toks.next();
+                if let Some(r) = rest {
+                    if !r.starts_with('#') {
+                        return Err(format!(
+                            "lint.toml:{}: trailing token `{r}` (use `# reason` for comments)",
+                            i + 1
+                        ));
+                    }
+                }
+                out.push(Allow { slug: slug.to_string(), path_substr: path.to_string() });
+            }
+            _ => {
+                return Err(format!(
+                    "lint.toml:{}: expected `allow <slug> <path-substring>`, got `{line}`",
+                    i + 1
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Returns `src` with comments and string/char-literal *contents* blanked
+/// to spaces (newlines preserved, so line numbers survive). Handles line
+/// and nested block comments, escapes, raw strings (`r"..."`,
+/// `r#"..."#`), byte strings, and tells lifetimes (`'a`) apart from char
+/// literals (`'x'`, `'\n'`).
+pub fn strip_code(src: &str) -> String {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut out = String::with_capacity(src.len());
+    let blank = |c: char| if c == '\n' { '\n' } else { ' ' };
+    let mut i = 0;
+    while i < n {
+        let c = b[i];
+        let prev_ident = out.chars().last().is_some_and(|p| p.is_alphanumeric() || p == '_');
+        match c {
+            '/' if i + 1 < n && b[i + 1] == '/' => {
+                while i < n && b[i] != '\n' {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < n && b[i + 1] == '*' => {
+                let mut depth = 1;
+                out.push_str("  ");
+                i += 2;
+                while i < n && depth > 0 {
+                    if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                        depth += 1;
+                        out.push_str("  ");
+                        i += 2;
+                    } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                        depth -= 1;
+                        out.push_str("  ");
+                        i += 2;
+                    } else {
+                        out.push(blank(b[i]));
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                out.push('"');
+                i += 1;
+                while i < n {
+                    if b[i] == '\\' && i + 1 < n {
+                        out.push_str("  ");
+                        i += 2;
+                    } else if b[i] == '"' {
+                        out.push('"');
+                        i += 1;
+                        break;
+                    } else {
+                        out.push(blank(b[i]));
+                        i += 1;
+                    }
+                }
+            }
+            'r' | 'b' if !prev_ident => {
+                // Possible raw/byte string prefix: r" r#" b" br" br#".
+                let mut j = i;
+                let mut is_raw = false;
+                if b[j] == 'b' {
+                    j += 1;
+                }
+                if j < n && b[j] == 'r' {
+                    is_raw = true;
+                    j += 1;
+                }
+                let mut hashes = 0;
+                if is_raw {
+                    while j < n && b[j] == '#' {
+                        hashes += 1;
+                        j += 1;
+                    }
+                }
+                let is_literal = j < n && b[j] == '"' && (is_raw || b[i] == 'b');
+                if is_literal {
+                    for _ in i..=j {
+                        out.push(' ');
+                    }
+                    i = j + 1;
+                    while i < n {
+                        if !is_raw && b[i] == '\\' && i + 1 < n {
+                            // Plain byte string: honor escapes.
+                            out.push_str("  ");
+                            i += 2;
+                        } else if b[i] == '"' {
+                            // Close only on `"` followed by `hashes` #s.
+                            let have =
+                                (0..hashes).take_while(|&k| b.get(i + 1 + k) == Some(&'#')).count();
+                            if have == hashes {
+                                for _ in 0..=hashes {
+                                    out.push(' ');
+                                }
+                                i += 1 + hashes;
+                                break;
+                            }
+                            out.push(' ');
+                            i += 1;
+                        } else {
+                            out.push(blank(b[i]));
+                            i += 1;
+                        }
+                    }
+                } else {
+                    out.push(c);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                if i + 1 < n && b[i + 1] == '\\' {
+                    // Escaped char literal: '\n', '\'', '\u{...}'.
+                    out.push_str("'  ");
+                    i += 3;
+                    while i < n && b[i] != '\'' {
+                        out.push(blank(b[i]));
+                        i += 1;
+                    }
+                    if i < n {
+                        out.push('\'');
+                        i += 1;
+                    }
+                } else if i + 2 < n && b[i + 2] == '\'' {
+                    // Simple char literal 'x' (including 'a' — a lifetime
+                    // is never followed by a closing quote).
+                    out.push_str("' '");
+                    i += 3;
+                } else {
+                    // Lifetime tick.
+                    out.push('\'');
+                    i += 1;
+                }
+            }
+            _ => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// True when `word` occurs in `line` delimited by non-identifier chars.
+fn has_ident(line: &str, word: &str) -> bool {
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(word) {
+        let at = start + pos;
+        let before_ok = at == 0 || !line[..at].chars().next_back().is_some_and(is_ident);
+        let after_ok = !line[at + word.len()..].chars().next().is_some_and(is_ident);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + word.len();
+    }
+    false
+}
+
+/// Marks every line inside a `#[cfg(test)]`-gated item (brace-matched
+/// from the attribute), so unit-test modules are rule-exempt.
+fn test_mask(stripped_lines: &[&str]) -> Vec<bool> {
+    let mut mask = vec![false; stripped_lines.len()];
+    let mut i = 0;
+    while i < stripped_lines.len() {
+        if stripped_lines[i].contains("cfg(test)") {
+            let mut depth: i64 = 0;
+            let mut opened = false;
+            let mut j = i;
+            while j < stripped_lines.len() {
+                mask[j] = true;
+                for ch in stripped_lines[j].chars() {
+                    match ch {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                if opened && depth <= 0 {
+                    break;
+                }
+                j += 1;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    mask
+}
+
+/// If line `idx` (or the comment-only line directly above it) carries a
+/// `lint:allow(<slug>)` annotation, returns its trimmed reason text
+/// (possibly empty — the caller turns an empty reason into a finding).
+fn annotation_reason<'a>(raw_lines: &'a [&'a str], idx: usize, slug: &str) -> Option<&'a str> {
+    let needle = format!("lint:allow({slug})");
+    let extract = |line: &'a str| -> Option<&'a str> {
+        let pos = line.find(&needle)?;
+        let rest = &line[pos + needle.len()..];
+        Some(rest.strip_prefix(':').unwrap_or("").trim())
+    };
+    if let Some(r) = extract(raw_lines[idx]) {
+        return Some(r);
+    }
+    if idx > 0 {
+        let above = raw_lines[idx - 1].trim_start();
+        if above.starts_with("//") {
+            return extract(raw_lines[idx - 1]);
+        }
+    }
+    None
+}
+
+/// Crates whose output feeds reports or policy decisions (D2 scope).
+const ORDERED_CRATES: &[&str] =
+    &["crates/mtm/", "crates/baselines/", "crates/harness/", "crates/tiersim/", "crates/obs/"];
+
+/// Entropy-source identifiers rejected everywhere (D3).
+const ENTROPY_IDENTS: &[&str] =
+    &["thread_rng", "OsRng", "getrandom", "from_entropy", "StdRng", "SmallRng", "RandomState"];
+
+/// Files holding the transactional migration paths (D5 scope).
+const NO_UNWRAP_FILES: &[&str] = &["crates/tiersim/src/migrate.rs", "crates/mtm/src/migration.rs"];
+
+/// True when the path is wholly test code (integration tests, benches).
+fn is_test_path(rel: &str) -> bool {
+    rel.starts_with("tests/")
+        || rel.contains("/tests/")
+        || rel.starts_with("benches/")
+        || rel.contains("/benches/")
+}
+
+/// Scans one source file (before allowlist filtering). `rel` is the
+/// workspace-relative path with forward slashes.
+pub fn scan_source(rel: &str, src: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    if is_test_path(rel) {
+        return findings;
+    }
+    let stripped = strip_code(src);
+    let stripped_lines: Vec<&str> = stripped.lines().collect();
+    let raw_lines: Vec<&str> = src.lines().collect();
+    let mask = test_mask(&stripped_lines);
+
+    let d1_scope = !rel.starts_with("crates/bench/");
+    let d2_scope = ORDERED_CRATES.iter().any(|p| rel.starts_with(p));
+    let d5_scope = NO_UNWRAP_FILES.iter().any(|f| rel == *f || rel.ends_with(f));
+
+    let emit = |line_idx: usize, rule: Rule, message: String, findings: &mut Vec<Finding>| {
+        match annotation_reason(&raw_lines, line_idx, rule.slug()) {
+            Some(reason) if !reason.is_empty() => {}
+            Some(_) => findings.push(Finding {
+                path: rel.to_string(),
+                line: line_idx + 1,
+                rule,
+                message: format!(
+                    "lint:allow({}) annotation is missing its justification",
+                    rule.slug()
+                ),
+            }),
+            None => findings.push(Finding { path: rel.to_string(), line: line_idx + 1, rule, message }),
+        }
+    };
+
+    for (idx, line) in stripped_lines.iter().enumerate() {
+        if mask[idx] {
+            continue;
+        }
+        let collapsed: String = line.chars().filter(|c| !c.is_whitespace()).collect();
+
+        if d1_scope
+            && (collapsed.contains("Instant::now(") || collapsed.contains("SystemTime::now("))
+        {
+            emit(
+                idx,
+                Rule::WallClock,
+                "wall-clock read outside crates/bench; decision paths must use the virtual clock"
+                    .to_string(),
+                &mut findings,
+            );
+        }
+
+        if d2_scope && (has_ident(line, "HashMap") || has_ident(line, "HashSet")) {
+            let which = if has_ident(line, "HashMap") { "HashMap" } else { "HashSet" };
+            emit(
+                idx,
+                Rule::UnorderedMap,
+                format!(
+                    "{which} in a report/decision crate; use BTreeMap/BTreeSet or justify with lint:allow(unordered-map)"
+                ),
+                &mut findings,
+            );
+        }
+
+        for ident in ENTROPY_IDENTS {
+            if has_ident(line, ident) {
+                emit(
+                    idx,
+                    Rule::Entropy,
+                    format!("entropy source `{ident}`; all randomness must come from seeded in-repo PRNGs"),
+                    &mut findings,
+                );
+                break;
+            }
+        }
+        if has_ident(line, "rand") && line.contains("rand::") {
+            emit(
+                idx,
+                Rule::Entropy,
+                "`rand::` path; the external rand crate is neither hermetic nor deterministic"
+                    .to_string(),
+                &mut findings,
+            );
+        }
+
+        // D4: `pub enum FooError` must carry #[non_exhaustive] within the
+        // preceding attribute block (look back up to 8 lines).
+        if let Some(rest) = line.trim_start().strip_prefix("pub enum ") {
+            let ident: String =
+                rest.chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
+            if ident.ends_with("Error") {
+                let lo = idx.saturating_sub(8);
+                let attributed =
+                    stripped_lines[lo..idx].iter().any(|l| l.contains("non_exhaustive"));
+                if !attributed {
+                    emit(
+                        idx,
+                        Rule::NonExhaustiveError,
+                        format!("public error enum `{ident}` is not #[non_exhaustive]"),
+                        &mut findings,
+                    );
+                }
+            }
+        }
+
+        if d5_scope && (collapsed.contains(".unwrap()") || collapsed.contains(".expect(")) {
+            emit(
+                idx,
+                Rule::NoUnwrap,
+                "panicking shortcut in a transactional migration path; handle the None/Err arm"
+                    .to_string(),
+                &mut findings,
+            );
+        }
+    }
+    findings
+}
+
+/// Recursively collects every `.rs` file under `root`, skipping build
+/// output and VCS/artifact directories. Sorted for deterministic output.
+pub fn workspace_sources(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else { continue };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if matches!(name.as_ref(), "target" | ".git" | "results" | ".claude") {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Relative path with forward slashes, for findings and scope checks.
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Applies the allowlist: drops findings whose slug matches an entry and
+/// whose path contains the entry's substring.
+pub fn apply_allowlist(findings: Vec<Finding>, allows: &[Allow]) -> Vec<Finding> {
+    findings
+        .into_iter()
+        .filter(|f| {
+            !allows
+                .iter()
+                .any(|a| a.slug == f.rule.slug() && f.path.contains(&a.path_substr))
+        })
+        .collect()
+}
+
+/// Full lint run: every workspace `.rs` file through the source rules,
+/// every manifest through the hermeticity rules, allowlist applied,
+/// findings sorted. This is what `bin/lint` and `tests/hermetic.rs` call.
+pub fn run(root: &Path) -> Result<Vec<Finding>, String> {
+    let allows = match std::fs::read_to_string(root.join("lint.toml")) {
+        Ok(text) => parse_allowlist(&text)?,
+        Err(_) => Vec::new(),
+    };
+    let mut findings = Vec::new();
+    for path in workspace_sources(root) {
+        let src = std::fs::read_to_string(&path)
+            .map_err(|e| format!("read {}: {e}", path.display()))?;
+        findings.extend(scan_source(&rel_path(root, &path), &src));
+    }
+    findings.extend(hermetic::scan_manifests(root)?);
+    let mut findings = apply_allowlist(findings, &allows);
+    findings.sort();
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests;

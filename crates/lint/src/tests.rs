@@ -1,0 +1,288 @@
+//! Per-rule fixture tests: each rule has at least one caught-violation
+//! fixture and one allowed fixture, including tricky tokens hidden in
+//! strings and comments that must NOT trip the scanner.
+
+use super::*;
+
+fn rules_of(findings: &[Finding]) -> Vec<Rule> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+// ---------------------------------------------------------------- strip
+
+#[test]
+fn strip_blanks_comments_and_strings_preserving_lines() {
+    let src = "let a = 1; // HashMap in a comment\nlet s = \"Instant::now()\";\n";
+    let out = strip_code(src);
+    assert_eq!(out.lines().count(), src.lines().count());
+    assert!(!out.contains("HashMap"));
+    assert!(!out.contains("Instant"));
+    assert!(out.contains("let a = 1;"));
+}
+
+#[test]
+fn strip_handles_raw_strings_and_nested_block_comments() {
+    let src = r##"let x = r#"HashMap " inside raw"#; /* outer /* SystemTime::now */ still */ let y = 2;"##;
+    let out = strip_code(src);
+    assert!(!out.contains("HashMap"));
+    assert!(!out.contains("SystemTime"));
+    assert!(out.contains("let y = 2;"));
+}
+
+#[test]
+fn strip_tells_lifetimes_from_char_literals() {
+    let src = "fn f<'a>(x: &'a str) -> char { let q = '\"'; let n = '\\n'; q }";
+    let out = strip_code(src);
+    // The quote char literal must not open a string that swallows the rest.
+    assert!(out.contains("q }"), "{out:?}");
+    assert!(out.contains("<'a>"), "lifetimes survive: {out:?}");
+}
+
+#[test]
+fn strip_handles_byte_and_hashed_raw_strings() {
+    let src = r####"let a = b"HashSet\""; let b = br##"thread_rng "# "##; let c = 3;"####;
+    let out = strip_code(src);
+    assert!(!out.contains("HashSet"));
+    assert!(!out.contains("thread_rng"));
+    assert!(out.contains("let c = 3;"), "{out:?}");
+}
+
+// ------------------------------------------------------------------- D1
+
+#[test]
+fn d1_catches_wall_clock_reads() {
+    let f = scan_source("crates/harness/src/lib.rs", "let t = std::time::Instant::now();\n");
+    assert_eq!(rules_of(&f), vec![Rule::WallClock]);
+    let f = scan_source("crates/obs/src/lib.rs", "let t = SystemTime::now();\n");
+    assert_eq!(rules_of(&f), vec![Rule::WallClock]);
+}
+
+#[test]
+fn d1_allows_bench_crate_comments_strings_and_annotated_lines() {
+    assert!(scan_source("crates/bench/src/lib.rs", "let t = Instant::now();\n").is_empty());
+    assert!(scan_source("crates/mtm/src/lib.rs", "// Instant::now() is banned here\n").is_empty());
+    assert!(scan_source("crates/mtm/src/lib.rs", "let s = \"Instant::now()\";\n").is_empty());
+    let annotated =
+        "let t = Instant::now(); // lint:allow(wall-clock): stderr progress timing only\n";
+    assert!(scan_source("crates/harness/src/lib.rs", annotated).is_empty());
+}
+
+#[test]
+fn d1_annotation_without_reason_is_itself_a_finding() {
+    let f = scan_source(
+        "crates/harness/src/lib.rs",
+        "let t = Instant::now(); // lint:allow(wall-clock):\n",
+    );
+    assert_eq!(rules_of(&f), vec![Rule::WallClock]);
+    assert!(f[0].message.contains("missing its justification"), "{}", f[0].message);
+}
+
+// ------------------------------------------------------------------- D2
+
+#[test]
+fn d2_catches_unordered_maps_in_decision_crates_only() {
+    let src = "use std::collections::HashMap;\n";
+    for path in [
+        "crates/mtm/src/daemon.rs",
+        "crates/baselines/src/hemem.rs",
+        "crates/harness/src/runs.rs",
+        "crates/tiersim/src/machine.rs",
+        "crates/obs/src/metrics.rs",
+    ] {
+        assert_eq!(rules_of(&scan_source(path, src)), vec![Rule::UnorderedMap], "{path}");
+    }
+    // Out-of-scope crates may use HashMap freely.
+    assert!(scan_source("crates/workloads/src/gups.rs", src).is_empty());
+    assert!(scan_source("crates/lint/src/lib.rs", src).is_empty());
+}
+
+#[test]
+fn d2_respects_annotations_and_ident_boundaries() {
+    let annotated = "// lint:allow(unordered-map): deterministic hasher, iteration never escapes\nuse std::collections::HashMap;\n";
+    assert!(scan_source("crates/tiersim/src/page_table.rs", annotated).is_empty());
+    // `MyHashMapLike` is not the ident `HashMap`.
+    assert!(scan_source("crates/mtm/src/lib.rs", "struct MyHashMapLike;\n").is_empty());
+    let f = scan_source("crates/mtm/src/lib.rs", "let s: HashSet<u64> = HashSet::new();\n");
+    assert_eq!(rules_of(&f), vec![Rule::UnorderedMap]);
+}
+
+#[test]
+fn d2_exempts_cfg_test_modules() {
+    let src = "pub fn f() {}\n#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n    fn g() { let _: HashMap<u8, u8> = HashMap::new(); }\n}\n";
+    assert!(scan_source("crates/tiersim/src/frame.rs", src).is_empty());
+    // ...but code after the test module is back in scope.
+    let tail = format!("{src}use std::collections::HashMap;\n");
+    assert_eq!(rules_of(&scan_source("crates/tiersim/src/frame.rs", &tail)), vec![Rule::UnorderedMap]);
+}
+
+// ------------------------------------------------------------------- D3
+
+#[test]
+fn d3_catches_entropy_sources_everywhere() {
+    for src in [
+        "let mut rng = thread_rng();\n",
+        "let r = OsRng;\n",
+        "let x = rand::random::<u64>();\n",
+        "let s = std::collections::hash_map::RandomState::new();\n",
+    ] {
+        let f = scan_source("crates/workloads/src/lib.rs", src);
+        assert_eq!(rules_of(&f), vec![Rule::Entropy], "{src}");
+    }
+}
+
+#[test]
+fn d3_allows_seeded_prngs_and_mentions_in_prose() {
+    assert!(scan_source("crates/workloads/src/lib.rs", "let x = splitmix64(seed);\n").is_empty());
+    assert!(scan_source("crates/mtm/src/lib.rs", "// unlike thread_rng, this is seeded\n").is_empty());
+    // `operand::` is not the `rand::` path.
+    assert!(scan_source("crates/mtm/src/lib.rs", "let y = operand::width();\n").is_empty());
+}
+
+// ------------------------------------------------------------------- D4
+
+#[test]
+fn d4_catches_exhaustive_public_error_enums() {
+    let f = scan_source("crates/tiersim/src/lib.rs", "pub enum AllocError {\n    NoSpace,\n}\n");
+    assert_eq!(rules_of(&f), vec![Rule::NonExhaustiveError]);
+    assert!(f[0].message.contains("AllocError"));
+}
+
+#[test]
+fn d4_allows_attributed_private_and_non_error_enums() {
+    let good = "#[non_exhaustive]\n#[derive(Debug)]\npub enum MigrateError {\n    NoSpace,\n}\n";
+    assert!(scan_source("crates/tiersim/src/lib.rs", good).is_empty());
+    assert!(scan_source("crates/tiersim/src/lib.rs", "enum InnerError { A }\n").is_empty());
+    assert!(scan_source("crates/tiersim/src/lib.rs", "pub enum Tier { Fast, Slow }\n").is_empty());
+}
+
+// ------------------------------------------------------------------- D5
+
+#[test]
+fn d5_catches_unwrap_and_expect_in_migration_paths_only() {
+    let src = "let x = m.pt.unmap(va).expect(\"page mapped\");\nlet y = q.pop().unwrap();\n";
+    let f = scan_source("crates/tiersim/src/migrate.rs", src);
+    assert_eq!(rules_of(&f), vec![Rule::NoUnwrap, Rule::NoUnwrap]);
+    let f = scan_source("crates/mtm/src/migration.rs", src);
+    assert_eq!(f.len(), 2);
+    // The same tokens anywhere else are fine.
+    assert!(scan_source("crates/tiersim/src/machine.rs", src).is_empty());
+}
+
+#[test]
+fn d5_does_not_match_unwrap_or_family_or_test_code() {
+    let src = "let x = opt.unwrap_or(0);\nlet y = opt.unwrap_or_else(|| 1);\nlet z = r.expect_err(\"must fail\");\n";
+    assert!(scan_source("crates/tiersim/src/migrate.rs", src).is_empty());
+    let test_src = "#[cfg(test)]\nmod tests {\n    fn f() { Some(1).unwrap(); }\n}\n";
+    assert!(scan_source("crates/tiersim/src/migrate.rs", test_src).is_empty());
+}
+
+// ------------------------------------------------------------------- H1
+
+#[test]
+fn h1_catches_registry_git_and_patch_sources() {
+    let manifest = "[package]\nname = \"x\"\n\n[dependencies]\nrand = \"0.8\"\nobs = { path = \"../obs\" }\n";
+    let f = hermetic::check_manifest_text("crates/x/Cargo.toml", manifest);
+    assert_eq!(rules_of(&f), vec![Rule::HermeticDep]);
+    assert_eq!(f[0].line, 5);
+    assert!(f[0].message.contains("`rand`"), "{}", f[0].message);
+
+    let git = "[dependencies]\nfoo = { git = \"https://example.com/foo\" }\n";
+    let f = hermetic::check_manifest_text("Cargo.toml", git);
+    assert!(f.iter().any(|x| x.message.contains("git dependencies")), "{f:?}");
+
+    let patch = "[patch.crates-io]\nfoo = { path = \"vendor/foo\" }\n";
+    let f = hermetic::check_manifest_text("Cargo.toml", patch);
+    assert!(f.iter().any(|x| x.message.contains("[patch]")), "{f:?}");
+}
+
+#[test]
+fn h1_allows_path_and_workspace_dependencies() {
+    let manifest = "[dependencies]\nobs = { path = \"../obs\" }\ntiersim.workspace = true\nmtm = { workspace = true }\n\n[dependencies.faultsim]\npath = \"../faultsim\"\n\n[dev-dependencies]\nproptest-lite = { workspace = true }\n";
+    assert!(hermetic::check_manifest_text("crates/x/Cargo.toml", manifest).is_empty());
+    // Commented-out registry deps are not findings.
+    let commented = "[dependencies]\n# rand = \"0.8\"\n";
+    assert!(hermetic::check_manifest_text("Cargo.toml", commented).is_empty());
+}
+
+// -------------------------------------------------------------- helpers
+
+#[test]
+fn allowlist_parses_and_filters() {
+    let allows = parse_allowlist(
+        "# VersionStore map is never iterated\nallow unordered-map crates/tiersim/src/frame.rs  # reason\n\n",
+    )
+    .expect("valid allowlist");
+    assert_eq!(allows.len(), 1);
+    let findings = vec![
+        Finding {
+            path: "crates/tiersim/src/frame.rs".into(),
+            line: 1,
+            rule: Rule::UnorderedMap,
+            message: "x".into(),
+        },
+        Finding {
+            path: "crates/tiersim/src/frame.rs".into(),
+            line: 2,
+            rule: Rule::WallClock,
+            message: "y".into(),
+        },
+        Finding {
+            path: "crates/mtm/src/daemon.rs".into(),
+            line: 3,
+            rule: Rule::UnorderedMap,
+            message: "z".into(),
+        },
+    ];
+    let kept = apply_allowlist(findings, &allows);
+    // Only the matching (slug, path) pair is suppressed.
+    assert_eq!(kept.len(), 2);
+    assert!(kept.iter().all(|f| !(f.rule == Rule::UnorderedMap
+        && f.path.contains("frame.rs"))));
+}
+
+#[test]
+fn allowlist_rejects_malformed_lines() {
+    assert!(parse_allowlist("deny entropy crates/x\n").is_err());
+    assert!(parse_allowlist("allow unordered-map\n").is_err());
+    assert!(parse_allowlist("allow unordered-map path stray-token\n").is_err());
+}
+
+#[test]
+fn findings_display_as_file_line_rule_message() {
+    let f = Finding {
+        path: "crates/mtm/src/daemon.rs".into(),
+        line: 42,
+        rule: Rule::UnorderedMap,
+        message: "HashMap in a report/decision crate".into(),
+    };
+    assert_eq!(
+        f.to_string(),
+        "crates/mtm/src/daemon.rs:42: D2/unordered-map: HashMap in a report/decision crate"
+    );
+}
+
+#[test]
+fn integration_test_paths_are_wholly_exempt() {
+    let src = "fn helper() { let _ = Instant::now(); Some(1).unwrap(); }\n";
+    assert!(scan_source("tests/hermetic.rs", src).is_empty());
+    assert!(scan_source("crates/tiersim/tests/sanitizer.rs", src).is_empty());
+    assert!(scan_source("crates/bench/benches/micro.rs", src).is_empty());
+}
+
+#[test]
+fn the_workspace_itself_is_lint_clean() {
+    // The real tree must stay at zero findings — the same gate verify.sh
+    // applies, enforced from the test suite so `cargo test` catches a
+    // regression without running the binary.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/lint sits two levels under the workspace root")
+        .to_path_buf();
+    let findings = run(&root).expect("lint run succeeds");
+    assert!(
+        findings.is_empty(),
+        "workspace has lint findings:\n  {}",
+        findings.iter().map(|f| f.to_string()).collect::<Vec<_>>().join("\n  ")
+    );
+}

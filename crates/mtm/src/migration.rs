@@ -268,6 +268,12 @@ impl MigrationEngine {
                 Err(e) => self.drop_migration(m, e),
             }
         }
+        // With the sanitizer armed, every commit point re-verifies the
+        // whole machine: the async queue is the one place where watches,
+        // retries, aborts and deferrals interleave.
+        if m.checking() {
+            m.verify_consistency("resolve_pending commit");
+        }
     }
 }
 

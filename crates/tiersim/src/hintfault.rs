@@ -9,10 +9,9 @@
 //! PTE scans to learn which node accesses a page (Sec. 6.2), amortizing the
 //! 12x cost of a fault relative to a plain scan.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::addr::VirtAddr;
-use crate::page_table::BuildU64Hasher;
 use crate::tier::NodeId;
 
 /// One captured hint fault.
@@ -33,7 +32,7 @@ pub struct HintFault {
 #[derive(Debug, Default)]
 pub struct HintFaultUnit {
     /// Poison timestamps keyed by page base address (virtual ns).
-    poisoned_at: HashMap<u64, f64, BuildU64Hasher>,
+    poisoned_at: BTreeMap<u64, f64>,
     faults: Vec<HintFault>,
     total_faults: u64,
     /// Largest number of simultaneously poisoned PTEs ever observed

@@ -8,7 +8,7 @@
 //! charges virtual time — the same signal surface the paper's profilers
 //! consume on real hardware.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::addr::{VaRange, VirtAddr, CACHE_LINE, PAGE_SIZE_2M};
 use crate::cache::HwCache;
@@ -16,7 +16,7 @@ use crate::clock::{Clock, TimeBreakdown};
 use crate::counters::Counters;
 use crate::frame::{FrameAllocator, FrameSize, OutOfMemory, VersionStore};
 use crate::hintfault::HintFaultUnit;
-use crate::page_table::{BuildU64Hasher, PageTable};
+use crate::page_table::PageTable;
 use crate::pebs::{Pebs, PebsConfig};
 use crate::pte::{Pte, PTE_ACCESSED, PTE_DIRTY, PTE_NUMA_POISON, PTE_PROT_NONE, PTE_WRITE_TRACK};
 use crate::tier::{ComponentId, NodeId, Topology};
@@ -207,10 +207,10 @@ pub struct Machine {
     watch_bounds: Option<VaRange>,
     next_watch_id: u64,
     /// DRAM cache per PM component id (Memory Mode only).
-    hmc_caches: HashMap<ComponentId, HwCache>,
+    hmc_caches: BTreeMap<ComponentId, HwCache>,
     /// PM component -> fronting DRAM component (Memory Mode).
-    hmc_front: HashMap<ComponentId, ComponentId>,
-    heat: HashMap<u64, u64, BuildU64Hasher>,
+    hmc_front: BTreeMap<ComponentId, ComponentId>,
+    heat: BTreeMap<u64, u64>,
     /// Per-run observability recorder. Recording never touches the clock
     /// or any RNG, so instrumentation cannot perturb simulated results.
     pub(crate) recorder: obs::Recorder,
@@ -218,6 +218,11 @@ pub struct Machine {
     /// "no fault" without consuming randomness, so a healthy run is
     /// byte-identical to one built before this field existed.
     pub(crate) faults: faultsim::FaultState,
+    /// Whether the `MTM_CHECK` shadow-state sanitizer is armed. The
+    /// sanitizer only reads state and panics on violation — it never
+    /// touches the clock, counters or any RNG, so a checked run is
+    /// byte-identical to an unchecked one.
+    checking: bool,
 }
 
 impl Machine {
@@ -230,8 +235,8 @@ impl Machine {
         let clock = Clock::new(cfg.threads, &cfg.topology);
         let counters = Counters::new(cfg.topology.num_components());
         let pebs = Pebs::new(&cfg.pebs);
-        let mut hmc_caches = HashMap::new();
-        let mut hmc_front = HashMap::new();
+        let mut hmc_caches = BTreeMap::new();
+        let mut hmc_front = BTreeMap::new();
         if cfg.hmc_mode {
             for pm in cfg.topology.pm_components() {
                 let home = cfg.topology.components[pm as usize].home_node;
@@ -262,9 +267,10 @@ impl Machine {
             next_watch_id: 1,
             hmc_caches,
             hmc_front,
-            heat: HashMap::default(),
+            heat: BTreeMap::new(),
             recorder: obs::Recorder::new(),
             faults: faultsim::FaultState::disabled(),
+            checking: mtm_check::enabled(),
         }
     }
 
@@ -329,8 +335,14 @@ impl Machine {
     }
 
     /// Mutable allocator access for tests that set up fragmentation.
+    ///
+    /// Mutating an allocator behind the page table's back (allocating
+    /// frames that are never mapped) breaks the occupancy==census
+    /// invariant by design, so taking this handle disarms the sanitizer
+    /// for the rest of the machine's life.
     #[doc(hidden)]
     pub fn allocators_mut_for_test(&mut self, component: ComponentId) -> &mut FrameAllocator {
+        self.checking = false;
         &mut self.allocators[component as usize]
     }
 
@@ -729,7 +741,11 @@ impl Machine {
     /// Closes the current profiling interval on the clock, returning its
     /// wall time.
     pub fn commit_interval(&mut self) -> f64 {
-        self.clock.commit_interval(&self.cfg.topology)
+        let dt = self.clock.commit_interval(&self.cfg.topology);
+        if self.checking {
+            self.verify_consistency("interval boundary");
+        }
+        dt
     }
 
     /// Wall time accumulated in the open interval so far.
@@ -787,6 +803,128 @@ impl Machine {
             self.hmc_caches.iter().map(|(&c, cache)| (c, cache.hit_ratio())).collect();
         v.sort_by_key(|&(c, _)| c);
         v
+    }
+
+    // ---------------------------------------------------------------
+    // MTM_CHECK shadow-state sanitizer (see crates/check and DESIGN.md
+    // §5d). Everything below is read-only with respect to simulated
+    // state: it can panic, never perturb.
+
+    /// True when the shadow-state sanitizer is armed for this machine.
+    /// Initialized from `MTM_CHECK=1` in the process environment; tests
+    /// toggle it programmatically with [`Machine::set_checking`] so they
+    /// never race on environment variables.
+    #[inline]
+    pub fn checking(&self) -> bool {
+        self.checking
+    }
+
+    /// Arms or disarms the shadow-state sanitizer.
+    pub fn set_checking(&mut self, on: bool) {
+        self.checking = on;
+    }
+
+    /// Shadow snapshot of the mapped state of `range`: virtual page base
+    /// -> (component, frame offset, bytes), exactly as the page table
+    /// reports it.
+    pub fn shadow_of(&self, range: VaRange) -> mtm_check::ShadowState {
+        let mut s = mtm_check::ShadowState::new();
+        self.pt.for_each_mapped_in(range, |va, pte, size| {
+            s.insert(
+                va.0,
+                mtm_check::ShadowPage {
+                    component: pte.frame().component(),
+                    frame_offset: pte.frame().offset(),
+                    bytes: size.bytes(),
+                },
+            );
+        });
+        s
+    }
+
+    /// Full-machine invariant check. Verifies, from one sorted walk of
+    /// the page table:
+    ///
+    /// - every mapped PTE points at a frame of an existing component, and
+    ///   no two live mappings share (overlap) a frame;
+    /// - per-component occupancy: the page-table census equals the frame
+    ///   allocator's `used()`, and neither exceeds capacity;
+    /// - obs migration counters are consistent with the retained ring
+    ///   events (exact while the bounded ring has dropped nothing).
+    ///
+    /// Panics with a structured violation report; returns silently when
+    /// every invariant holds.
+    pub fn verify_consistency(&self, context: &str) {
+        let mut violations = Vec::new();
+        let ncomp = self.allocators.len();
+        let mut mapped = vec![0u64; ncomp];
+        let mut spans: Vec<(u16, u64, u64, u64)> = Vec::new();
+        self.pt.for_each_mapped_all(|va, pte, size| {
+            let frame = pte.frame();
+            let c = frame.component();
+            if (c as usize) < ncomp {
+                mapped[c as usize] += size.bytes();
+            } else {
+                violations.push(format!(
+                    "page {:#x} maps component {c} but the machine has {ncomp} component(s)",
+                    va.0
+                ));
+            }
+            spans.push((c, frame.offset(), frame.offset() + size.bytes(), va.0));
+        });
+        let rows: Vec<mtm_check::CensusRow> = self
+            .allocators
+            .iter()
+            .enumerate()
+            .map(|(c, a)| mtm_check::CensusRow {
+                component: c as u16,
+                mapped_bytes: mapped[c],
+                allocator_used: a.used(),
+                capacity: a.capacity(),
+            })
+            .collect();
+        violations.extend(mtm_check::check_census(&rows));
+        violations.extend(mtm_check::check_frame_overlap(&mut spans));
+
+        let ring = &self.recorder.ring;
+        let count_of = |label: &str| ring.iter().filter(|e| e.kind.label() == label).count() as u64;
+        let reg = &self.recorder.reg;
+        let pairs: Vec<mtm_check::CounterEventPair> = [
+            (obs::names::ASYNC_CLEAN, "async_clean"),
+            (obs::names::SWITCHED_SYNC, "switched_sync"),
+            (obs::names::SYNC_DIRECT, "sync_direct"),
+            (obs::names::MIGRATIONS_DROPPED, "migration_dropped"),
+            (obs::names::MIGRATION_ABORTS, "migration_aborted"),
+            (obs::names::MIGRATION_DEFERRALS, "migration_deferred"),
+        ]
+        .iter()
+        .map(|&(name, label)| mtm_check::CounterEventPair {
+            name,
+            counter: reg.counter(name),
+            events: count_of(label),
+        })
+        .collect();
+        violations.extend(mtm_check::check_counter_events(&pairs, ring.dropped()));
+        // Retries: one MigrationRetried event summarizes all retries of an
+        // eventually-successful call, and calls that exhaust their budget
+        // record no event at all — so the counter is a lower-bounded sum,
+        // never exactly the event count.
+        let retried_in_ring: u64 = ring
+            .iter()
+            .map(|e| match e.kind {
+                obs::EventKind::MigrationRetried { retries, .. } => retries,
+                _ => 0,
+            })
+            .sum();
+        if reg.counter(obs::names::MIGRATION_RETRIES) < retried_in_ring {
+            violations.push(format!(
+                "counter/ring drift for {}: counter={} but retained migration_retried events sum to {}",
+                obs::names::MIGRATION_RETRIES,
+                reg.counter(obs::names::MIGRATION_RETRIES),
+                retried_in_ring
+            ));
+        }
+        mtm_check::assert_clean(context, violations);
     }
 }
 

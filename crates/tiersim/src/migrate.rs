@@ -132,7 +132,7 @@ pub fn best_copy_node(m: &Machine, src: ComponentId, dst: ComponentId) -> NodeId
         .max_by(|&a, &b| {
             let ba = copy_bandwidth(m, a, src, dst, 1);
             let bb = copy_bandwidth(m, b, src, dst, 1);
-            ba.partial_cmp(&bb).expect("bandwidth is finite")
+            ba.total_cmp(&bb)
         })
         .unwrap_or(0)
 }
@@ -218,7 +218,81 @@ fn alloc_dst_frame(
 /// **not** charge the machine clock — callers charge the returned breakdown
 /// to the buckets their mechanism exposes on the critical path. Frame
 /// versions are copied so tests can verify no update is lost.
+///
+/// Under `MTM_CHECK=1` (or [`Machine::set_checking`]) every call is
+/// bracketed by shadow snapshots: a success must have moved exactly
+/// `out.bytes` onto `dst` without creating or losing pages; a transient
+/// abort must leave the range structurally untouched; a non-transient
+/// failure may have split huge mappings but must not have moved a byte.
 pub fn relocate_range(
+    m: &mut Machine,
+    range: VaRange,
+    dst: ComponentId,
+    node: NodeId,
+    copy_threads: u32,
+    split_huge: bool,
+) -> Result<MigrateOutcome, MigrateError> {
+    if !m.checking() {
+        return relocate_range_inner(m, range, dst, node, copy_threads, split_huge);
+    }
+    let pre = m.shadow_of(range);
+    let result = relocate_range_inner(m, range, dst, node, copy_threads, split_huge);
+    let post = m.shadow_of(range);
+    let mut violations = Vec::new();
+    match &result {
+        Ok(out) => {
+            if post.total_bytes() != pre.total_bytes() {
+                violations.push(format!(
+                    "bytes not conserved: {} B mapped in range before vs {} B after",
+                    pre.total_bytes(),
+                    post.total_bytes()
+                ));
+            }
+            let gained = post.bytes_on(dst).wrapping_sub(pre.bytes_on(dst));
+            if gained != out.bytes {
+                violations.push(format!(
+                    "destination gain mismatch: component {dst} gained {gained} B but the outcome reports {} B moved",
+                    out.bytes
+                ));
+            }
+        }
+        Err(e) if e.is_transient() => {
+            // The fault gate fires before any mutation: the pre-image
+            // must be intact down to mapping granularity.
+            violations.extend(pre.diff(&post));
+        }
+        Err(_) => {
+            // NoSpace/NothingMapped may legitimately have split huge
+            // mappings (a placement-neutral granularity change) but must
+            // not have moved a byte between components.
+            violations.extend(pre.placement_diff(&post));
+        }
+    }
+    // Cheap global invariant on every call: total allocator occupancy
+    // must equal the page-table census (a leaked or double-freed frame
+    // shows up here immediately; the full per-component census runs at
+    // interval boundaries).
+    let used: u64 = (0..m.topology().num_components() as u16)
+        .map(|c| m.allocator(c).used())
+        .sum();
+    let mapped = m.page_table().mapped_bytes();
+    if used != mapped {
+        violations.push(format!(
+            "occupancy drift: allocators hold {used} B but the page table maps {mapped} B"
+        ));
+    }
+    if !violations.is_empty() {
+        let context = match &result {
+            Ok(_) => format!("relocate_range commit (range {range:?} -> component {dst})"),
+            Err(e) => format!("relocate_range abort ({e}; range {range:?} -> component {dst})"),
+        };
+        mtm_check::fail(&context, &violations);
+    }
+    result
+}
+
+/// The unchecked four-step move loop behind [`relocate_range`].
+fn relocate_range_inner(
     m: &mut Machine,
     range: VaRange,
     dst: ComponentId,
@@ -259,7 +333,12 @@ pub fn relocate_range(
     let mut any_moved = false;
     let mut queue: std::collections::VecDeque<(crate::addr::VirtAddr, FrameSize)> = pages.into();
     while let Some((va, size)) = queue.pop_front() {
-        let src = m.component_of(va).expect("page mapped");
+        // `mapped_pages` ran moments ago, but a defensive miss here must
+        // not panic mid-transaction: skipping the page leaves it exactly
+        // where it was, which every caller already handles.
+        let Some(src) = m.component_of(va) else {
+            continue;
+        };
         if src == dst {
             continue;
         }
@@ -280,8 +359,12 @@ pub fn relocate_range(
         }
         let bytes = eff_size.bytes();
         out.breakdown.alloc_ns += alloc_cost_ns(m, best_copy_node(m, dst, dst), dst, bytes);
-        // Step 2: unmap / invalidate.
-        let (old_pte, old_size) = m.pt.unmap(va).expect("page mapped");
+        // Step 2: unmap / invalidate. A miss here would leak the frame
+        // allocated in step 1, so return it before skipping the page.
+        let Some((old_pte, old_size)) = m.pt.unmap(va) else {
+            m.allocators[dst as usize].free_frame(new_frame, eff_size);
+            continue;
+        };
         debug_assert_eq!(old_size, eff_size, "split (if any) happened before unmap");
         out.breakdown.unmap_ns += costs.migrate_unmap_page_ns;
         // Step 3: copy contents (versions stand in for data).

@@ -5,6 +5,7 @@
 //! 512 base PTEs. Profilers form their initial memory regions from the set
 //! of valid last-level PDEs, exactly as MTM does (Sec. 5.1).
 
+// lint:allow(unordered-map): hot-path PD index with a fixed deterministic hasher
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 
@@ -68,6 +69,7 @@ pub struct Vma {
 /// The per-process page table plus the VMA list.
 #[derive(Default)]
 pub struct PageTable {
+    // lint:allow(unordered-map): seeded BuildU64Hasher; every escaping walk sorts its keys
     pds: HashMap<u64, PdEntry, BuildU64Hasher>,
     vmas: Vec<Vma>,
     mapped_bytes: u64,
@@ -226,6 +228,70 @@ impl PageTable {
                             if range.contains(va) {
                                 f(va, pte, FrameSize::Base4K);
                             }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Read-only variant of [`PageTable::for_each_mapped`]: visits every
+    /// mapped page in `range` without touching PTE flag bits. Used by the
+    /// `MTM_CHECK` sanitizer, which must observe without perturbing.
+    pub fn for_each_mapped_in(
+        &self,
+        range: VaRange,
+        mut f: impl FnMut(VirtAddr, Pte, FrameSize),
+    ) {
+        if range.is_empty() {
+            return;
+        }
+        let first_pde = range.start.pde_index();
+        let last_pde = (range.end.0 - 1) >> 21;
+        for pde in first_pde..=last_pde {
+            let Some(entry) = self.pds.get(&pde) else { continue };
+            let base = VirtAddr(pde << 21);
+            match entry {
+                PdEntry::Huge(pte) => {
+                    if pte.present() && range.contains(base) {
+                        f(base, *pte, FrameSize::Huge2M);
+                    }
+                }
+                PdEntry::Table(t) => {
+                    for (i, pte) in t.iter().enumerate() {
+                        if pte.present() {
+                            let va = base + (i as u64) * PAGE_SIZE_4K;
+                            if range.contains(va) {
+                                f(va, *pte, FrameSize::Base4K);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Visits every mapped page in the whole table in ascending address
+    /// order, read-only. Iterates the PD index's *sorted* keys — never
+    /// the hasher's bucket order, and never the full 2^43-slot PDE space
+    /// (which `for_each_mapped` would scan linearly for an unbounded
+    /// range).
+    pub fn for_each_mapped_all(&self, mut f: impl FnMut(VirtAddr, Pte, FrameSize)) {
+        let mut pdes: Vec<u64> = self.pds.keys().copied().collect();
+        pdes.sort_unstable();
+        for pde in pdes {
+            let Some(entry) = self.pds.get(&pde) else { continue };
+            let base = VirtAddr(pde << 21);
+            match entry {
+                PdEntry::Huge(pte) => {
+                    if pte.present() {
+                        f(base, *pte, FrameSize::Huge2M);
+                    }
+                }
+                PdEntry::Table(t) => {
+                    for (i, pte) in t.iter().enumerate() {
+                        if pte.present() {
+                            f(base + (i as u64) * PAGE_SIZE_4K, *pte, FrameSize::Base4K);
                         }
                     }
                 }

@@ -14,6 +14,16 @@ cd "$(dirname "$0")/.."
 cargo build --release --workspace
 cargo test -q --workspace
 
+# Static analysis gate: the workspace lint (crates/lint) must report zero
+# findings. Rules D1-D5 (wall-clock, unordered maps, entropy, non-exhaustive
+# error enums, unwrap in migration code) and H1 (hermetic manifests); the
+# allowlist lives in lint.toml and inline `// lint:allow(...)` annotations.
+echo "==> workspace lint (bin/lint)"
+if ! cargo run --release -q -p mtm-lint --bin lint; then
+    echo "verify: FAIL (lint findings, see above)"
+    exit 1
+fi
+
 if [[ "${1:-}" != "--no-bench" ]]; then
     cargo bench -p mtm-bench -- --quick
 fi
@@ -24,7 +34,7 @@ fi
 # override, an n/a experiment row, a failed result write — fails verify.
 echo "==> quick harness smoke (MTM_QUICK=1 MTM_JOBS=4)"
 smoke_err=$(mktemp)
-trap 'rm -f "$smoke_err"' EXIT
+trap 'rm -f "$smoke_err" "$smoke_err.all"' EXIT
 if ! MTM_QUICK=1 MTM_JOBS=4 cargo run --release -q -p mtm-harness --bin all \
         >/dev/null 2>"$smoke_err"; then
     cat "$smoke_err" >&2
@@ -33,6 +43,29 @@ if ! MTM_QUICK=1 MTM_JOBS=4 cargo run --release -q -p mtm-harness --bin all \
 fi
 if grep -E '^warning:' "$smoke_err"; then
     echo "verify: FAIL (warning lines on harness stderr, see above)"
+    exit 1
+fi
+cp results/ALL.txt "$smoke_err.all"
+
+# Sanitized smoke: the same quick matrix with the MTM_CHECK shadow-state
+# sanitizer armed. Every migration commit/abort and every interval
+# boundary re-verifies PTE<->frame consistency, tier occupancy and the
+# obs counter/event books; a violation panics the run. The sanitizer is
+# read-only, so results/ALL.txt must come out byte-identical to the
+# unchecked run above.
+echo "==> sanitized harness smoke (MTM_CHECK=1 MTM_QUICK=1 MTM_JOBS=4)"
+if ! MTM_CHECK=1 MTM_QUICK=1 MTM_JOBS=4 cargo run --release -q -p mtm-harness --bin all \
+        >/dev/null 2>"$smoke_err"; then
+    cat "$smoke_err" >&2
+    echo "verify: FAIL (MTM_CHECK smoke run failed)"
+    exit 1
+fi
+if grep -E '^warning:' "$smoke_err"; then
+    echo "verify: FAIL (warning lines on MTM_CHECK smoke stderr, see above)"
+    exit 1
+fi
+if ! cmp -s "$smoke_err.all" results/ALL.txt; then
+    echo "verify: FAIL (MTM_CHECK=1 perturbed results/ALL.txt)"
     exit 1
 fi
 
@@ -61,9 +94,10 @@ fi
 # managers in quick mode at the default seed (so the overwritten
 # results/resilience.txt matches the committed artifact byte for byte).
 # Exercises the FaultPlan parser, the retry/abort/deferral machinery and
-# the robustness table end to end; the warning: gate applies here too.
-echo "==> resilience smoke (MTM_QUICK=1 MTM_JOBS=4)"
-if ! MTM_QUICK=1 MTM_JOBS=4 cargo run --release -q -p mtm-harness --bin resilience \
+# the robustness table end to end, with the shadow-state sanitizer armed
+# so migration aborts are checked too; the warning: gate applies here.
+echo "==> resilience smoke (MTM_CHECK=1 MTM_QUICK=1 MTM_JOBS=4)"
+if ! MTM_CHECK=1 MTM_QUICK=1 MTM_JOBS=4 cargo run --release -q -p mtm-harness --bin resilience \
         >/dev/null 2>"$smoke_err"; then
     cat "$smoke_err" >&2
     echo "verify: FAIL (resilience smoke run failed)"

@@ -1,193 +1,56 @@
-//! Hermetic-build policy enforcement.
+//! Hermetic-build policy enforcement — thin wrapper over lint rule H1.
 //!
-//! The build environment has no registry access, so every dependency in
-//! the workspace must be an in-workspace `path` dependency (directly or
-//! via `workspace = true` indirection into `[workspace.dependencies]`,
-//! which is itself checked). A `rand = "0.8"`-style registry entry
-//! anywhere would kill every build, test and bench — this test makes
-//! that a loud, local failure instead of a resolver error.
+//! The actual checks (every dependency is an in-workspace `path` or
+//! `workspace = true` entry, no `[patch]` sections, no git sources, no
+//! path that escapes the repo) live in `mtm_lint::hermetic`, where
+//! `bin/lint` also runs them as rule H1. This test keeps the policy on
+//! the plain-`cargo test` path and pins the scan's coverage floor so a
+//! refactor can't quietly scan nothing.
 
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 
-/// Section headers whose entries declare dependencies.
-fn is_dependency_section(header: &str) -> bool {
-    let h = header.trim_matches(|c| c == '[' || c == ']');
-    h == "dependencies"
-        || h == "dev-dependencies"
-        || h == "build-dependencies"
-        || h == "workspace.dependencies"
-        || (h.starts_with("target.") && h.ends_with("dependencies"))
-        || h.starts_with("dependencies.")
-        || h.starts_with("dev-dependencies.")
-        || h.starts_with("build-dependencies.")
-        || h.starts_with("workspace.dependencies.")
-}
-
-/// A single declared dependency: where, what, and the spec text.
-#[derive(Debug)]
-struct Dep {
-    manifest: PathBuf,
-    name: String,
-    spec: String,
-}
-
-impl Dep {
-    /// A dependency is hermetic when it resolves inside the workspace:
-    /// an inline `path = ...` table, or `workspace = true` indirection
-    /// (the `[workspace.dependencies]` entries are themselves checked).
-    fn is_hermetic(&self) -> bool {
-        self.spec.contains("path =")
-            || self.spec.contains("path=")
-            || self.spec.contains("workspace = true")
-            || self.spec.contains("workspace=true")
-            || self.spec.trim_end().ends_with(".workspace = true")
-    }
-}
-
-/// Minimal line-oriented scan of a manifest: tracks `[section]` headers
-/// and collects `name = spec` lines inside dependency sections, plus
-/// `[dependencies.<name>]` table-style declarations.
-fn collect_deps(manifest: &Path) -> Vec<Dep> {
-    let text = std::fs::read_to_string(manifest)
-        .unwrap_or_else(|e| panic!("read {}: {e}", manifest.display()));
-    let mut deps = Vec::new();
-    let mut in_dep_section = false;
-    let mut table_dep: Option<Dep> = None;
-    for raw in text.lines() {
-        let line = raw.split('#').next().unwrap_or("").trim();
-        if line.is_empty() {
-            continue;
-        }
-        if line.starts_with('[') {
-            if let Some(dep) = table_dep.take() {
-                deps.push(dep);
-            }
-            in_dep_section = is_dependency_section(line);
-            // `[dependencies.foo]` style: the whole table is one spec.
-            if in_dep_section {
-                let h = line.trim_matches(|c| c == '[' || c == ']');
-                if let Some(name) = h
-                    .strip_prefix("dependencies.")
-                    .or_else(|| h.strip_prefix("dev-dependencies."))
-                    .or_else(|| h.strip_prefix("build-dependencies."))
-                    .or_else(|| h.strip_prefix("workspace.dependencies."))
-                {
-                    table_dep = Some(Dep {
-                        manifest: manifest.to_path_buf(),
-                        name: name.to_string(),
-                        spec: String::new(),
-                    });
-                }
-            }
-            continue;
-        }
-        if !in_dep_section {
-            continue;
-        }
-        if let Some(dep) = table_dep.as_mut() {
-            dep.spec.push_str(line);
-            dep.spec.push(' ');
-        } else if let Some((name, spec)) = line.split_once('=') {
-            deps.push(Dep {
-                manifest: manifest.to_path_buf(),
-                name: name.trim().to_string(),
-                spec: format!("{} = {}", name.trim(), spec.trim()),
-            });
-        }
-    }
-    if let Some(dep) = table_dep.take() {
-        deps.push(dep);
-    }
-    deps
-}
-
-/// Root manifest plus every `crates/*/Cargo.toml` (the workspace member
-/// glob), discovered from the filesystem so a new crate is covered
-/// automatically.
-fn workspace_manifests() -> Vec<PathBuf> {
-    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-    let mut manifests = vec![root.join("Cargo.toml")];
-    let crates = root.join("crates");
-    let entries = std::fs::read_dir(&crates)
-        .unwrap_or_else(|e| panic!("read {}: {e}", crates.display()));
-    for entry in entries {
-        let manifest = entry.unwrap().path().join("Cargo.toml");
-        if manifest.is_file() {
-            manifests.push(manifest);
-        }
-    }
-    manifests.sort();
-    manifests
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
 }
 
 #[test]
-fn every_dependency_is_an_in_workspace_path() {
-    let manifests = workspace_manifests();
+fn hermetic_lint_rule_finds_no_violations() {
+    let findings = mtm_lint::hermetic::scan_manifests(&workspace_root())
+        .unwrap_or_else(|e| panic!("manifest scan failed: {e}"));
     assert!(
-        manifests.len() >= 10,
-        "expected the root + >=9 crate manifests (incl. crates/faultsim), found {}",
+        findings.is_empty(),
+        "registry/git dependencies break the offline build:\n  {}",
+        findings.iter().map(|f| f.to_string()).collect::<Vec<_>>().join("\n  ")
+    );
+}
+
+#[test]
+fn the_scan_covers_the_whole_workspace() {
+    let root = workspace_root();
+    let manifests = mtm_lint::hermetic::workspace_manifests(&root)
+        .unwrap_or_else(|e| panic!("manifest discovery failed: {e}"));
+    assert!(
+        manifests.len() >= 12,
+        "expected the root + >=11 crate manifests (incl. crates/lint and crates/check), found {}",
         manifests.len()
     );
-    let mut total = 0;
-    let mut offenders = Vec::new();
-    for manifest in &manifests {
-        for dep in collect_deps(manifest) {
-            total += 1;
-            if !dep.is_hermetic() {
-                offenders.push(format!(
-                    "{}: `{}` is not a path/workspace dependency ({})",
-                    dep.manifest.display(),
-                    dep.name,
-                    dep.spec.trim()
-                ));
-            }
-        }
-    }
+    let total: usize = manifests
+        .iter()
+        .map(|m| {
+            let text = std::fs::read_to_string(m).unwrap();
+            mtm_lint::hermetic::collect_deps(&text).len()
+        })
+        .sum();
     assert!(total > 10, "the scan found implausibly few dependencies ({total})");
-    assert!(
-        offenders.is_empty(),
-        "registry dependencies break the offline build:\n  {}",
-        offenders.join("\n  ")
-    );
 }
 
 #[test]
-fn workspace_dependency_paths_stay_inside_the_repo() {
-    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-    for manifest in workspace_manifests() {
-        for dep in collect_deps(&manifest) {
-            let Some(path_part) = dep.spec.split("path").nth(1) else { continue };
-            let Some(value) = path_part.split('"').nth(1) else { continue };
-            let resolved = manifest.parent().unwrap().join(value);
-            let canonical = resolved
-                .canonicalize()
-                .unwrap_or_else(|e| panic!("`{}` path {value}: {e}", dep.name));
-            assert!(
-                canonical.starts_with(root.canonicalize().unwrap()),
-                "`{}` escapes the workspace: {}",
-                dep.name,
-                canonical.display()
-            );
-        }
-    }
-}
-
-#[test]
-fn no_patch_or_git_sources() {
-    for manifest in workspace_manifests() {
-        let text = std::fs::read_to_string(&manifest).unwrap();
-        for raw in text.lines() {
-            let line = raw.split('#').next().unwrap_or("");
-            assert!(
-                !line.contains("[patch"),
-                "{}: [patch] sections are registry/git indirection",
-                manifest.display()
-            );
-            assert!(
-                !(line.contains("git =") || line.contains("git=\"")),
-                "{}: git dependencies are not fetchable offline: {line}",
-                manifest.display()
-            );
-        }
-    }
+fn the_rule_catches_a_registry_dependency() {
+    // Seeded violation: the wrapper must stay wired to a rule that still
+    // fires, not to a stub that always returns empty.
+    let bad = "[dependencies]\nrand = \"0.8\"\nserde = { version = \"1\" }\n";
+    let findings = mtm_lint::hermetic::check_manifest_text("crates/x/Cargo.toml", bad);
+    assert_eq!(findings.len(), 2, "{findings:?}");
+    assert!(findings[0].to_string().contains("H1/hermetic-dep"), "{}", findings[0]);
+    assert!(findings[0].to_string().contains("`rand`"), "{}", findings[0]);
 }
