@@ -20,18 +20,22 @@ pub struct CacheAccess {
     pub writeback_bytes: u64,
 }
 
-#[derive(Clone, Copy, Debug, Default)]
-struct Line {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
-}
+/// One line, packed into a word to halve the probe footprint: the tag in
+/// the high bits, VALID and DIRTY in the two low bits. Block numbers are
+/// PM offsets divided by 64, so they always fit 62 bits.
+const LINE_VALID: u64 = 1;
+const LINE_DIRTY: u64 = 2;
+const LINE_TAG_SHIFT: u32 = 2;
 
 /// A direct-mapped write-back cache of one PM component.
 #[derive(Debug)]
 pub struct HwCache {
-    sets: Vec<Line>,
+    sets: Vec<u64>,
     block: u64,
+    /// Precomputed `u64::MAX / sets.len()`, the reciprocal the probe path
+    /// uses to strength-reduce `block_no % sets.len()` (one `u128`
+    /// multiply instead of a hardware divide).
+    set_magic: u64,
     hits: u64,
     misses: u64,
     writebacks: u64,
@@ -42,30 +46,58 @@ impl HwCache {
     /// the granularity of Optane Memory Mode's DRAM cache.
     pub fn new(capacity: u64) -> HwCache {
         let n = (capacity / CACHE_LINE).max(1) as usize;
-        HwCache { sets: vec![Line::default(); n], block: CACHE_LINE, hits: 0, misses: 0, writebacks: 0 }
+        HwCache {
+            sets: vec![0; n],
+            block: CACHE_LINE,
+            set_magic: u64::MAX / n as u64 + 1,
+            hits: 0,
+            misses: 0,
+            writebacks: 0,
+        }
+    }
+
+    /// `block_no % sets.len()` without a hardware divide: multiply by the
+    /// precomputed ceiling reciprocal, then take the high half of the
+    /// product with the set count (Lemire's fastmod). Exact whenever
+    /// `reciprocal_error * block_no < 2^64`; both factors are bounded by
+    /// `sets.len()` here (offsets are capacity-bounded), so requiring the
+    /// set count to fit `u32` makes the product safe. Debug builds assert
+    /// agreement with the plain remainder on every probe.
+    #[inline]
+    fn set_of(&self, block_no: u64) -> usize {
+        let n = self.sets.len() as u64;
+        let set = if n <= u32::MAX as u64 {
+            let frac = self.set_magic.wrapping_mul(block_no);
+            ((frac as u128 * n as u128) >> 64) as u64
+        } else {
+            block_no % n
+        };
+        debug_assert_eq!(set, block_no % n);
+        set as usize
     }
 
     /// Probes the cache for an access to PM address `pa`.
     pub fn access(&mut self, pa: PhysAddr, is_write: bool) -> CacheAccess {
         let block_no = pa.offset() / self.block;
-        let set = (block_no as usize) % self.sets.len();
+        let set = self.set_of(block_no);
         let line = &mut self.sets[set];
-        if line.valid && line.tag == block_no {
+        let tagged = (block_no << LINE_TAG_SHIFT) | LINE_VALID;
+        if *line | LINE_DIRTY == tagged | LINE_DIRTY {
             self.hits += 1;
             if is_write {
-                line.dirty = true;
+                *line |= LINE_DIRTY;
             }
             return CacheAccess { hit: true, fill_bytes: 0, writeback_bytes: 0 };
         }
         // Miss: possibly write back the victim, then fill.
         self.misses += 1;
-        let writeback_bytes = if line.valid && line.dirty {
+        let writeback_bytes = if *line & (LINE_VALID | LINE_DIRTY) == LINE_VALID | LINE_DIRTY {
             self.writebacks += 1;
             self.block
         } else {
             0
         };
-        *line = Line { tag: block_no, valid: true, dirty: is_write };
+        *line = tagged | if is_write { LINE_DIRTY } else { 0 };
         CacheAccess { hit: false, fill_bytes: self.block, writeback_bytes }
     }
 

@@ -201,9 +201,13 @@ impl FrameAllocator {
 /// stale and the mechanism must re-copy (or have switched to a synchronous
 /// copy). Tests assert the committed destination version equals the final
 /// source version.
+/// Versions live in dense per-component vectors indexed by frame number
+/// (`offset >> 12`): physical offsets are allocator-bounded and contiguous
+/// from zero, so a vector with lazy power-of-two growth replaces the old
+/// hash map on the simulated-write hot path (one bump per write).
 #[derive(Default, Debug)]
 pub struct VersionStore {
-    map: std::collections::HashMap<PhysAddr, u64>,
+    comps: Vec<Vec<u64>>,
 }
 
 impl VersionStore {
@@ -212,25 +216,49 @@ impl VersionStore {
         VersionStore::default()
     }
 
+    #[inline]
+    fn frame_index(frame: PhysAddr) -> (usize, usize) {
+        (frame.component() as usize, (frame.offset() >> 12) as usize)
+    }
+
     /// Current version of a frame (0 if never written).
+    #[inline]
     pub fn get(&self, frame: PhysAddr) -> u64 {
-        self.map.get(&frame).copied().unwrap_or(0)
+        let (c, i) = Self::frame_index(frame);
+        self.comps.get(c).and_then(|v| v.get(i)).copied().unwrap_or(0)
+    }
+
+    #[inline]
+    fn slot(&mut self, frame: PhysAddr) -> &mut u64 {
+        let (c, i) = Self::frame_index(frame);
+        if c >= self.comps.len() {
+            self.comps.resize_with(c + 1, Vec::new);
+        }
+        let v = &mut self.comps[c];
+        if i >= v.len() {
+            v.resize((i + 1).next_power_of_two(), 0);
+        }
+        &mut v[i]
     }
 
     /// Records a write to a frame, bumping its version.
+    #[inline]
     pub fn bump(&mut self, frame: PhysAddr) {
-        *self.map.entry(frame).or_insert(0) += 1;
+        *self.slot(frame) += 1;
     }
 
     /// Copies the version from `src` to `dst`, as a data copy would.
     pub fn copy(&mut self, src: PhysAddr, dst: PhysAddr) {
         let v = self.get(src);
-        self.map.insert(dst, v);
+        *self.slot(dst) = v;
     }
 
     /// Drops bookkeeping for a freed frame.
     pub fn forget(&mut self, frame: PhysAddr) {
-        self.map.remove(&frame);
+        let (c, i) = Self::frame_index(frame);
+        if let Some(slot) = self.comps.get_mut(c).and_then(|v| v.get_mut(i)) {
+            *slot = 0;
+        }
     }
 }
 
@@ -254,7 +282,7 @@ mod tests {
     #[test]
     fn small_frames_carve_blocks() {
         let mut a = FrameAllocator::new(1, PAGE_SIZE_2M);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for _ in 0..512 {
             let f = a.alloc(FrameSize::Base4K).unwrap();
             assert!(seen.insert(f), "no double allocation");

@@ -28,6 +28,7 @@ pub mod addr;
 pub mod cache;
 pub mod clock;
 pub mod counters;
+pub mod engine;
 pub mod frame;
 pub mod hintfault;
 pub mod machine;

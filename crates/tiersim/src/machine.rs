@@ -18,7 +18,7 @@ use crate::frame::{FrameAllocator, FrameSize, OutOfMemory, VersionStore};
 use crate::hintfault::HintFaultUnit;
 use crate::page_table::PageTable;
 use crate::pebs::{Pebs, PebsConfig};
-use crate::pte::{Pte, PTE_ACCESSED, PTE_DIRTY, PTE_NUMA_POISON, PTE_PROT_NONE, PTE_WRITE_TRACK};
+use crate::pte::{Pte, PTE_NUMA_POISON, PTE_PROT_NONE, PTE_WRITE_TRACK};
 use crate::tier::{ComponentId, NodeId, Topology};
 
 /// Whether an access reads or writes.
@@ -190,6 +190,27 @@ pub struct MachineStats {
     pub bytes_migrated: u64,
 }
 
+/// Precomputed per-(node, component) access-charge constants — the
+/// division-free fast path of the roofline cost model. Every entry is
+/// derived from [`MachineConfig`] at construction with exactly the
+/// arithmetic the per-access path used to perform inline, so charging
+/// from the table is bit-identical to recomputing; the config must not
+/// change latency/bandwidth/`mlp` after [`Machine::new`].
+#[derive(Clone, Copy, Debug)]
+struct ChargeSpec {
+    /// `link.latency_ns / cfg.mlp`.
+    lat_ns: f64,
+    /// `CACHE_LINE as f64 * link.write_cost_factor()` — the roofline
+    /// byte charge of one written line on this link.
+    write_bytes: f64,
+    /// `link.write_cost_factor()` (Memory Mode writeback charging).
+    wcf: f64,
+    /// `(dram latency + this link's latency) / cfg.mlp` for the PM
+    /// component's Memory Mode miss path (tag check in the fronting
+    /// DRAM serializes before the PM access); 0.0 outside Memory Mode.
+    hmc_miss_lat_ns: f64,
+}
+
 /// The simulated machine.
 pub struct Machine {
     /// Machine configuration (public for read access by policies).
@@ -206,11 +227,19 @@ pub struct Machine {
     watches: Vec<WatchEntry>,
     watch_bounds: Option<VaRange>,
     next_watch_id: u64,
+    /// Per-(node, component) charge table, indexed
+    /// `node * num_components + component` (see [`ChargeSpec`]).
+    charge: Vec<ChargeSpec>,
     /// DRAM cache per PM component id (Memory Mode only).
     hmc_caches: BTreeMap<ComponentId, HwCache>,
     /// PM component -> fronting DRAM component (Memory Mode).
     hmc_front: BTreeMap<ComponentId, ComponentId>,
-    heat: BTreeMap<u64, u64>,
+    /// Access heatmap, dense-indexed by 2 MB chunk (`va >> 21`); zero
+    /// entries mean "never touched" and are skipped on snapshot.
+    heat: Vec<u64>,
+    /// Worker count for packetized intra-run sweeps, snapshotted from
+    /// `MTM_RUN_WORKERS` at construction (see [`crate::engine`]).
+    run_workers: usize,
     /// Per-run observability recorder. Recording never touches the clock
     /// or any RNG, so instrumentation cannot perturb simulated results.
     pub(crate) recorder: obs::Recorder,
@@ -251,6 +280,26 @@ impl Machine {
                 hmc_front.insert(pm, dram);
             }
         }
+        let components = cfg.topology.num_components();
+        let mut charge = Vec::with_capacity(cfg.topology.nodes as usize * components);
+        for node in 0..cfg.topology.nodes {
+            for comp in 0..components as u16 {
+                let link = cfg.topology.link(node, comp);
+                let hmc_miss_lat_ns = match hmc_front.get(&comp) {
+                    Some(&dram) => {
+                        let dram_link = cfg.topology.link(node, dram);
+                        (dram_link.latency_ns + link.latency_ns) / cfg.mlp
+                    }
+                    None => 0.0,
+                };
+                charge.push(ChargeSpec {
+                    lat_ns: link.latency_ns / cfg.mlp,
+                    write_bytes: CACHE_LINE as f64 * link.write_cost_factor(),
+                    wcf: link.write_cost_factor(),
+                    hmc_miss_lat_ns,
+                });
+            }
+        }
         Machine {
             cfg,
             pt: PageTable::new(),
@@ -265,9 +314,11 @@ impl Machine {
             watches: Vec::new(),
             watch_bounds: None,
             next_watch_id: 1,
+            charge,
             hmc_caches,
             hmc_front,
-            heat: BTreeMap::new(),
+            heat: Vec::new(),
+            run_workers: crate::engine::workers(),
             recorder: obs::Recorder::new(),
             faults: faultsim::FaultState::disabled(),
             checking: mtm_check::enabled(),
@@ -410,22 +461,21 @@ impl Machine {
     /// active manager's policy and retries.
     pub fn access(&mut self, tid: usize, va: VirtAddr, kind: AccessKind) -> AccessResult {
         let is_write = kind == AccessKind::Write;
-        let Some((pte, _size)) = self.pt.pte_mut(va) else {
+        // `touch` sets ACCESSED (and DIRTY on writes) in the PTE and the
+        // packed side metadata together, and hands back the pre-access
+        // flag word the rare-path fault gate reads.
+        let Some((pre, _size)) = self.pt.touch(va, is_write) else {
             return AccessResult::Unmapped;
         };
         let mut extra_ns = 0.0;
-        let flags = pte.0;
-        pte.set(PTE_ACCESSED);
-        if is_write {
-            pte.set(PTE_DIRTY);
-        }
-        let component = pte.frame().component();
-        let frame = pte.frame();
+        let flags = pre.0;
+        let frame = pre.frame();
+        let component = frame.component();
 
-        // Rare-path fault handling, gated on the copied flag word.
+        // Rare-path fault handling, gated on the pre-access flag word.
         if flags & (PTE_NUMA_POISON | PTE_PROT_NONE | PTE_WRITE_TRACK) != 0 {
             if flags & PTE_NUMA_POISON != 0 {
-                pte.clear(PTE_NUMA_POISON);
+                self.pt.clear_flags(va, PTE_NUMA_POISON);
                 let node = self.cfg.thread_node[tid];
                 let page = va.page_4k();
                 let now = self.approx_now_ns(tid);
@@ -436,9 +486,7 @@ impl Machine {
             if flags & PTE_PROT_NONE != 0 {
                 // Count once, then restore protection (Thermostat clears the
                 // trap after the first hit of the interval).
-                if let Some((pte, _)) = self.pt.pte_mut(va) {
-                    pte.clear(PTE_PROT_NONE);
-                }
+                self.pt.clear_flags(va, PTE_PROT_NONE);
                 self.prot_faults.push(ProtFault { page: va.page_4k(), tid: tid as u32, is_write });
                 self.stats.prot_faults += 1;
                 extra_ns += self.cfg.costs.prot_fault_ns;
@@ -452,55 +500,63 @@ impl Machine {
             self.versions.bump(frame_page_base(frame));
         }
         if self.cfg.track_heat {
-            *self.heat.entry(va.0 >> 21).or_insert(0) += 1;
+            let chunk = (va.0 >> 21) as usize;
+            if chunk >= self.heat.len() {
+                self.heat.resize((chunk + 1).next_power_of_two(), 0);
+            }
+            self.heat[chunk] += 1;
         }
         let node = self.cfg.thread_node[tid];
-        let t_ns = self.clock.thread_ns(tid);
+        let charge_base = node as usize * self.cfg.topology.num_components();
 
         // Cost: either through the hardware cache (Memory Mode) or direct.
-        if let Some(cache) = self.hmc_caches.get_mut(&component) {
-            let dram = self.hmc_front[&component];
-            // Probe at cache-line granularity: the accessed line's
-            // physical address, not the page base.
-            let page_span = match _size {
-                FrameSize::Huge2M => PAGE_SIZE_2M,
-                FrameSize::Base4K => crate::addr::PAGE_SIZE_4K,
-            };
-            let line_pa =
-                crate::addr::PhysAddr::new(frame.component(), frame.offset() + (va.0 & (page_span - 1)));
-            let probe = cache.access(line_pa, is_write);
-            let dram_link = self.cfg.topology.link(node, dram);
-            let pm_link = self.cfg.topology.link(node, component);
-            if probe.hit {
-                // A cache hit is served by (and counted against) DRAM.
-                self.counters.record(dram, is_write);
-                self.pebs.observe(va, tid as u32, dram, is_write, t_ns);
-                let lat = dram_link.latency_ns / self.cfg.mlp + extra_ns;
-                self.clock.charge_access(tid, lat, node, dram, CACHE_LINE as f64);
-            } else {
-                self.counters.record(component, is_write);
-                self.pebs.observe(va, tid as u32, component, is_write, t_ns);
-                // Memory Mode misses are serial: the tag check in DRAM
-                // happens before the PM access can start.
-                let lat = (dram_link.latency_ns + pm_link.latency_ns) / self.cfg.mlp + extra_ns;
-                let pm_bytes = probe.fill_bytes as f64
-                    + probe.writeback_bytes as f64 * pm_link.write_cost_factor();
-                self.clock.charge_access(tid, lat, node, component, pm_bytes);
-                self.clock.charge_access(tid, 0.0, node, dram, probe.fill_bytes as f64);
+        // All latency/byte constants come from the precomputed charge
+        // table — no division on the per-access path.
+        if !self.hmc_caches.is_empty() {
+            if let Some(cache) = self.hmc_caches.get_mut(&component) {
+                let t_ns = self.clock.thread_ns(tid);
+                let dram = self.hmc_front[&component];
+                // Probe at cache-line granularity: the accessed line's
+                // physical address, not the page base.
+                let page_span = match _size {
+                    FrameSize::Huge2M => PAGE_SIZE_2M,
+                    FrameSize::Base4K => crate::addr::PAGE_SIZE_4K,
+                };
+                let line_pa = crate::addr::PhysAddr::new(
+                    frame.component(),
+                    frame.offset() + (va.0 & (page_span - 1)),
+                );
+                let probe = cache.access(line_pa, is_write);
+                if probe.hit {
+                    // A cache hit is served by (and counted against) DRAM.
+                    self.counters.record(dram, is_write);
+                    self.pebs.observe(va, tid as u32, dram, is_write, t_ns);
+                    let lat = self.charge[charge_base + dram as usize].lat_ns + extra_ns;
+                    self.clock.charge_access(tid, lat, node, dram, CACHE_LINE as f64);
+                } else {
+                    self.counters.record(component, is_write);
+                    self.pebs.observe(va, tid as u32, component, is_write, t_ns);
+                    // Memory Mode misses are serial: the tag check in DRAM
+                    // happens before the PM access can start.
+                    let spec = self.charge[charge_base + component as usize];
+                    let lat = spec.hmc_miss_lat_ns + extra_ns;
+                    let pm_bytes =
+                        probe.fill_bytes as f64 + probe.writeback_bytes as f64 * spec.wcf;
+                    self.clock.charge_access(tid, lat, node, component, pm_bytes);
+                    self.clock.charge_access(tid, 0.0, node, dram, probe.fill_bytes as f64);
+                }
+                return AccessResult::Ok;
             }
-        } else {
-            self.counters.record(component, is_write);
-            self.pebs.observe(va, tid as u32, component, is_write, t_ns);
-            let link = self.cfg.topology.link(node, component);
-            let lat = link.latency_ns / self.cfg.mlp + extra_ns;
-            let mut bytes = CACHE_LINE as f64;
-            if is_write {
-                // The roofline uses a read-bandwidth denominator; writes
-                // count as more bytes where write bandwidth is lower.
-                bytes *= link.write_cost_factor();
-            }
-            self.clock.charge_access(tid, lat, node, component, bytes);
         }
+        let t_ns = self.clock.thread_ns(tid);
+        self.counters.record(component, is_write);
+        self.pebs.observe(va, tid as u32, component, is_write, t_ns);
+        let spec = self.charge[charge_base + component as usize];
+        let lat = spec.lat_ns + extra_ns;
+        // The roofline uses a read-bandwidth denominator; writes count as
+        // more bytes where write bandwidth is lower.
+        let bytes = if is_write { spec.write_bytes } else { CACHE_LINE as f64 };
+        self.clock.charge_access(tid, lat, node, component, bytes);
         AccessResult::Ok
     }
 
@@ -603,12 +659,26 @@ impl Machine {
     /// Returns `None` if the page is unmapped, otherwise whether the bit was
     /// set and whether the mapping is huge.
     pub fn scan_page(&mut self, va: VirtAddr) -> Option<(bool, bool)> {
-        let (pte, size) = self.pt.pte_mut(va)?;
-        let accessed = pte.take_accessed();
+        let (accessed, size) = self.pt.scan_page_at(va)?;
         let huge = size == FrameSize::Huge2M;
         self.stats.pte_scans += 1;
         self.clock.charge_profiling(self.cfg.costs.one_scan_ns);
         Some((accessed, huge))
+    }
+
+    /// Clears the ACCESSED bit of the page covering `va` without reading
+    /// it, charging one scan — the apply half of a packetized scan pass
+    /// whose read half already sampled the bit from the packed side
+    /// metadata ([`PageTable::accessed_at`]). Returns whether the page
+    /// was mapped (unmapped pages cost nothing, as in
+    /// [`Machine::scan_page`]).
+    pub fn scan_page_clear(&mut self, va: VirtAddr) -> bool {
+        if self.pt.clear_accessed_at(va).is_none() {
+            return false;
+        }
+        self.stats.pte_scans += 1;
+        self.clock.charge_profiling(self.cfg.costs.one_scan_ns);
+        true
     }
 
     /// Reads the ACCESSED bit without clearing or charging (test helper).
@@ -780,11 +850,26 @@ impl Machine {
     }
 
     /// The 2 MB-granularity access heatmap (empty unless `track_heat`).
+    /// Ascending by address (dense indexing keeps it sorted for free).
     pub fn heat_snapshot(&self) -> Vec<(VirtAddr, u64)> {
-        let mut v: Vec<(VirtAddr, u64)> =
-            self.heat.iter().map(|(&chunk, &n)| (VirtAddr(chunk << 21), n)).collect();
-        v.sort();
-        v
+        self.heat
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(chunk, &n)| (VirtAddr((chunk as u64) << 21), n))
+            .collect()
+    }
+
+    /// Worker count used by packetized intra-run sweeps.
+    #[inline]
+    pub fn run_workers(&self) -> usize {
+        self.run_workers
+    }
+
+    /// Overrides the packet worker count for this machine (tests pin it
+    /// programmatically instead of racing on `MTM_RUN_WORKERS`).
+    pub fn set_run_workers(&mut self, workers: usize) {
+        self.run_workers = workers.max(1);
     }
 
     /// Component currently backing the page at `va`, if mapped.
@@ -859,19 +944,46 @@ impl Machine {
         let ncomp = self.allocators.len();
         let mut mapped = vec![0u64; ncomp];
         let mut spans: Vec<(u16, u64, u64, u64)> = Vec::new();
-        self.pt.for_each_mapped_all(|va, pte, size| {
-            let frame = pte.frame();
-            let c = frame.component();
-            if (c as usize) < ncomp {
-                mapped[c as usize] += size.bytes();
-            } else {
-                violations.push(format!(
-                    "page {:#x} maps component {c} but the machine has {ncomp} component(s)",
-                    va.0
-                ));
+        // Census as work packets: one packet per 1 GB directory group,
+        // reduced in index order, so the packetized walk visits pages in
+        // exactly the ascending order `for_each_mapped_all` would.
+        let packets = crate::engine::map_chunks(
+            self.run_workers,
+            self.pt.dir_count(),
+            1,
+            |dirs| {
+                let mut mapped = vec![0u64; ncomp];
+                let mut spans: Vec<(u16, u64, u64, u64)> = Vec::new();
+                let mut violations = Vec::new();
+                for di in dirs {
+                    self.pt.for_each_mapped_in_dir(di, |va, pte, size| {
+                        let frame = pte.frame();
+                        let c = frame.component();
+                        if (c as usize) < ncomp {
+                            mapped[c as usize] += size.bytes();
+                        } else {
+                            violations.push(format!(
+                                "page {:#x} maps component {c} but the machine has {ncomp} component(s)",
+                                va.0
+                            ));
+                        }
+                        spans.push((c, frame.offset(), frame.offset() + size.bytes(), va.0));
+                    });
+                }
+                (mapped, spans, violations)
+            },
+        );
+        for (pm, ps, pv) in packets {
+            for (c, b) in pm.into_iter().enumerate() {
+                mapped[c] += b;
             }
-            spans.push((c, frame.offset(), frame.offset() + size.bytes(), va.0));
-        });
+            spans.extend(ps);
+            violations.extend(pv);
+        }
+        // Cross-check the packed side metadata against the PTE bits (the
+        // source of truth): any drift means a scan path bypassed the
+        // touch/scan accessors.
+        violations.extend(self.pt.check_side_metadata());
         let rows: Vec<mtm_check::CensusRow> = self
             .allocators
             .iter()

@@ -160,29 +160,49 @@ pub fn alloc_cost_ns(m: &Machine, node: NodeId, dst: ComponentId, bytes: u64) ->
     m.cfg.costs.migrate_alloc_page_ns * pages + zero
 }
 
-/// Checks whether `dst` has room for every mapped page in `range`.
-fn capacity_check(m: &mut Machine, range: VaRange, dst: ComponentId) -> Result<(), MigrateError> {
-    let mut need_4k = 0u64;
-    let mut need_2m = 0u64;
-    m.pt.for_each_mapped(range, |_, pte, size| {
-        if pte.frame().component() != dst {
-            match size {
-                FrameSize::Base4K => need_4k += 1,
-                FrameSize::Huge2M => need_2m += 1,
+/// One fused read-only sweep of `range`: the ordered move set (every
+/// mapped page, ascending) plus the capacity demand (pages of each size
+/// not already on `dst`). Runs as work packets of 64 last-level PDEs,
+/// reduced in packet order — sub-range boundaries are 2 MB aligned, so a
+/// huge page is visited by exactly the packet owning its base and the
+/// concatenation matches the serial walk page for page.
+fn collect_move_set(
+    m: &Machine,
+    range: VaRange,
+    dst: ComponentId,
+) -> (Vec<(crate::addr::VirtAddr, FrameSize)>, u64, u64) {
+    if range.is_empty() {
+        return (Vec::new(), 0, 0);
+    }
+    let first_pde = range.start.pde_index();
+    let last_pde = (range.end.0 - 1) >> 21;
+    let n_pdes = (last_pde - first_pde + 1) as usize;
+    let pt = m.page_table();
+    let packets = crate::engine::map_chunks(m.run_workers(), n_pdes, 64, |r| {
+        let lo = ((first_pde + r.start as u64) << 21).max(range.start.0);
+        let hi = ((first_pde + r.end as u64) << 21).min(range.end.0);
+        let sub = VaRange::new(crate::addr::VirtAddr(lo), crate::addr::VirtAddr(hi));
+        let mut pages = Vec::new();
+        let (mut need_4k, mut need_2m) = (0u64, 0u64);
+        pt.for_each_mapped_in(sub, |va, pte, size| {
+            pages.push((va, size));
+            if pte.frame().component() != dst {
+                match size {
+                    FrameSize::Base4K => need_4k += 1,
+                    FrameSize::Huge2M => need_2m += 1,
+                }
             }
-        }
+        });
+        (pages, need_4k, need_2m)
     });
-    if need_4k == 0 && need_2m == 0 {
-        return Ok(());
+    let mut pages = Vec::new();
+    let (mut need_4k, mut need_2m) = (0u64, 0u64);
+    for (p, n4, n2) in packets {
+        pages.extend(p);
+        need_4k += n4;
+        need_2m += n2;
     }
-    let need_bytes = need_4k * PAGE_SIZE_4K + need_2m * crate::addr::PAGE_SIZE_2M;
-    if m.allocators[dst as usize].free() < need_bytes {
-        return Err(MigrateError::NoSpace(OutOfMemory {
-            component: dst,
-            size: if need_2m > 0 { FrameSize::Huge2M } else { FrameSize::Base4K },
-        }));
-    }
-    Ok(())
+    (pages, need_4k, need_2m)
 }
 
 /// Allocates a destination frame for one page, splitting a huge mapping to
@@ -323,8 +343,16 @@ fn relocate_range_inner(
             }
         }
     }
-    capacity_check(m, range, dst)?;
-    let pages = m.pt.mapped_pages(range);
+    let (pages, need_4k, need_2m) = collect_move_set(m, range, dst);
+    if need_4k > 0 || need_2m > 0 {
+        let need_bytes = need_4k * PAGE_SIZE_4K + need_2m * crate::addr::PAGE_SIZE_2M;
+        if m.allocators[dst as usize].free() < need_bytes {
+            return Err(MigrateError::NoSpace(OutOfMemory {
+                component: dst,
+                size: if need_2m > 0 { FrameSize::Huge2M } else { FrameSize::Base4K },
+            }));
+        }
+    }
     if pages.is_empty() {
         return Err(MigrateError::NothingMapped);
     }
@@ -408,29 +436,24 @@ fn relocate_range_inner(
 ///
 /// `max_attempts` counts *total* tries (so 1 disables retrying). Between
 /// attempt `i` and `i + 1` the caller is charged
-/// `min(base_backoff_ns * multiplier^(i-1), max_backoff_ns)` of virtual
-/// migration time — the cost of the failed kernel call plus the sleep a
-/// real retry loop would take.
-#[derive(Clone, Copy, Debug, PartialEq)]
+/// `min(base_backoff_ns << (i-1), max_backoff_ns)` of virtual migration
+/// time — the cost of the failed kernel call plus the sleep a real retry
+/// loop would take. The doubling is exact integer arithmetic (not
+/// `f64::powi`), so the backoff sequence is bit-identical on every
+/// platform and rounding mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Maximum total attempts (>= 1).
     pub max_attempts: u32,
     /// Backoff before the first retry, virtual ns.
-    pub base_backoff_ns: f64,
-    /// Multiplier applied to the backoff after each failed retry.
-    pub multiplier: f64,
+    pub base_backoff_ns: u64,
     /// Upper bound on a single backoff step, virtual ns.
-    pub max_backoff_ns: f64,
+    pub max_backoff_ns: u64,
 }
 
 impl Default for RetryPolicy {
     fn default() -> RetryPolicy {
-        RetryPolicy {
-            max_attempts: 4,
-            base_backoff_ns: 20_000.0,
-            multiplier: 2.0,
-            max_backoff_ns: 500_000.0,
-        }
+        RetryPolicy { max_attempts: 4, base_backoff_ns: 20_000, max_backoff_ns: 500_000 }
     }
 }
 
@@ -440,13 +463,28 @@ impl RetryPolicy {
         RetryPolicy { max_attempts: 1, ..RetryPolicy::default() }
     }
 
-    /// Backoff charged after failed attempt number `attempt` (1-based).
-    pub fn backoff_ns(&self, attempt: u32) -> f64 {
-        (self.base_backoff_ns * self.multiplier.powi(attempt.saturating_sub(1) as i32))
-            .min(self.max_backoff_ns)
+    /// Backoff charged after failed attempt number `attempt` (1-based),
+    /// as exact integer doubling capped at `max_backoff_ns`. Saturates
+    /// instead of overflowing, so huge attempt numbers pin at the cap.
+    pub fn backoff_step_ns(&self, attempt: u32) -> u64 {
+        let doublings = attempt.saturating_sub(1);
+        let step = if doublings >= 64 {
+            u64::MAX
+        } else {
+            self.base_backoff_ns.saturating_mul(1u64 << doublings)
+        };
+        step.min(self.max_backoff_ns)
     }
 
-    /// Worst-case total backoff a single migration can accumulate.
+    /// [`RetryPolicy::backoff_step_ns`] in the `f64` domain the clock
+    /// charges in. Steps are capped at `max_backoff_ns`, far below
+    /// 2^53, so the conversion is exact.
+    pub fn backoff_ns(&self, attempt: u32) -> f64 {
+        self.backoff_step_ns(attempt) as f64
+    }
+
+    /// Worst-case total backoff a single migration can accumulate,
+    /// summed in attempt order (the same order the retry loop charges).
     pub fn max_total_backoff_ns(&self) -> f64 {
         (1..self.max_attempts).map(|a| self.backoff_ns(a)).sum()
     }
@@ -641,6 +679,20 @@ mod tests {
         // Slow tier link is 5 GB/s; even 8 threads cannot exceed it.
         let bw = copy_bandwidth(&m, 0, 0, 1, 8);
         assert!((bw - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_backoff_sequence_is_pinned() {
+        // The default policy's charged sequence: 20 µs, 40 µs, 80 µs …
+        // capped at 500 µs. Committed goldens depend on these exact
+        // values, so pin them.
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff_step_ns(1), 20_000);
+        assert_eq!(p.backoff_step_ns(2), 40_000);
+        assert_eq!(p.backoff_step_ns(3), 80_000);
+        assert_eq!(p.backoff_step_ns(6), 500_000, "capped at max_backoff_ns");
+        assert_eq!(p.backoff_step_ns(u32::MAX), 500_000, "doubling saturates, never wraps");
+        assert_eq!(p.max_total_backoff_ns(), 140_000.0);
     }
 
     #[test]

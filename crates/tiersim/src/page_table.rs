@@ -1,58 +1,160 @@
-//! Software radix page table with VMAs, 4 KB PTEs and 2 MB huge mappings.
+//! Software radix page table with VMAs, 4 KB PTEs, 2 MB huge mappings and
+//! packed side metadata.
 //!
 //! The table stores one entry per valid last-level page-directory slot
 //! (2 MB of virtual space): either a single huge-page PTE or a leaf table of
 //! 512 base PTEs. Profilers form their initial memory regions from the set
 //! of valid last-level PDEs, exactly as MTM does (Sec. 5.1).
-
-// lint:allow(unordered-map): hot-path PD index with a fixed deterministic hasher
-use std::collections::HashMap;
-use std::hash::{BuildHasherDefault, Hasher};
+//!
+//! # Layout
+//!
+//! One dense level replaces the old hashed PD index: a flat vector of PDE
+//! slots indexed by `va >> 21` directly, paired with a global occupancy
+//! bitmap (one bit per slot). Flat indexing makes the per-access lookup a
+//! *single* dependent load for a huge page (one more for a leaf table), and
+//! — because walks iterate indexes in ascending order — every walker yields
+//! strictly ascending virtual addresses *by construction*, where a hashed
+//! map would rely on the "every escaping walk sorts its keys" convention.
+//! The vector grows to the highest mapped PDE, so its footprint is
+//! proportional to the workload's address-space extent (16 bytes per 2 MB
+//! of virtual span), not to the 47-bit address space.
+//!
+//! A 1 GB *directory group* of 512 consecutive slots remains the unit of
+//! packetized whole-table walks: packet workers fan out over
+//! `0..dir_count()` groups and reduce in index order.
+//!
+//! # Packed side metadata
+//!
+//! Each leaf table carries three 512-bit bitmaps (`[u64; 8]`) mirroring its
+//! PTEs' PRESENT, ACCESSED and DIRTY bits, and the table keeps the global
+//! occupancy bitmap over its slots. Scans and walks sweep these words with
+//! `trailing_zeros` instead of probing 512 PTEs; profiling reads the
+//! accessed bit from the bitmap without touching the PTE array. The **PTE
+//! bits remain the source of truth**: the `MTM_CHECK` sanitizer re-derives
+//! every bitmap word from the PTEs ([`PageTable::check_side_metadata`]) and
+//! panics on drift. Huge-page entries keep their A/D state in the PTE alone
+//! (one page per slot needs no bitmap). To keep PTE and bitmap in sync,
+//! ACCESSED/DIRTY must only be mutated through [`PageTable::touch`],
+//! [`PageTable::scan_page_at`], [`PageTable::clear_accessed_at`] and the
+//! map/unmap/split operations — never through [`PageTable::pte_mut`] or a
+//! [`PageTable::for_each_mapped`] callback (those remain for the
+//! POISON/PROT_NONE/WRITE_TRACK software bits).
 
 use crate::addr::{VaRange, VirtAddr, PAGE_SIZE_2M, PAGE_SIZE_4K, PTES_PER_PD};
 use crate::frame::FrameSize;
-use crate::pte::Pte;
+use crate::pte::{Pte, PTE_ACCESSED, PTE_DIRTY};
 
-/// Fast, deterministic hasher for `u64` keys (SplitMix64 finalizer).
-///
-/// The page-table lookup sits on the per-access hot path; the default SipHash
-/// is measurably slower and we need no HashDoS resistance in a simulator.
-#[derive(Default)]
-pub struct U64Hasher {
-    state: u64,
+/// PDE slots per directory group (1 GB of virtual space per group).
+const DIR_SLOTS: usize = 512;
+/// 64-bit words per 512-bit leaf bitmap.
+const WORDS: usize = DIR_SLOTS / 64;
+
+/// Virtual addresses must fit x86-64 canonical user space.
+const VA_LIMIT: u64 = 1 << 47;
+
+/// Calls `f` for every set bit index in `words` within `[lo, hi]`
+/// (inclusive), ascending — the word-at-a-time sweep behind every walker.
+/// `hi` may point past the last word; the sweep clamps to the slice.
+#[inline]
+fn for_set_bits(words: &[u64], lo: usize, hi: usize, mut f: impl FnMut(usize)) {
+    if words.is_empty() {
+        return;
+    }
+    let lo_w = lo >> 6;
+    let hi_w = (hi >> 6).min(words.len() - 1);
+    if lo_w > hi_w {
+        return;
+    }
+    for w in lo_w..=hi_w {
+        let mut word = words[w];
+        if w == lo_w {
+            word &= !0u64 << (lo & 63);
+        }
+        if w == hi >> 6 {
+            let r = hi & 63;
+            if r < 63 {
+                word &= (1u64 << (r + 1)) - 1;
+            }
+        }
+        while word != 0 {
+            f((w << 6) | word.trailing_zeros() as usize);
+            word &= word - 1;
+        }
+    }
 }
 
-impl Hasher for U64Hasher {
-    #[inline]
-    fn finish(&self) -> u64 {
-        self.state
+#[inline]
+fn set_bit(words: &mut [u64], i: usize) {
+    words[i >> 6] |= 1 << (i & 63);
+}
+
+#[inline]
+fn clear_bit(words: &mut [u64], i: usize) {
+    words[i >> 6] &= !(1 << (i & 63));
+}
+
+#[inline]
+fn test_bit(words: &[u64], i: usize) -> bool {
+    words[i >> 6] >> (i & 63) & 1 == 1
+}
+
+/// A leaf table of 512 base PTEs plus its packed side metadata.
+struct Leaf {
+    ptes: [Pte; DIR_SLOTS],
+    /// Bit `i` mirrors `ptes[i].present()`.
+    present: [u64; WORDS],
+    /// Bit `i` mirrors `ptes[i].accessed()`.
+    accessed: [u64; WORDS],
+    /// Bit `i` mirrors `ptes[i].dirty()`.
+    dirty: [u64; WORDS],
+}
+
+impl Leaf {
+    fn empty() -> Box<Leaf> {
+        Box::new(Leaf {
+            ptes: [Pte::EMPTY; DIR_SLOTS],
+            present: [0; WORDS],
+            accessed: [0; WORDS],
+            dirty: [0; WORDS],
+        })
     }
 
-    fn write(&mut self, bytes: &[u8]) {
-        // Fallback for non-u64 keys; not on the hot path.
-        for &b in bytes {
-            self.state = self.state.wrapping_mul(0x100000001b3).wrapping_add(b as u64);
+    /// True when no PTE is present (prune check; 8 word ORs, not 512 probes).
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.present.iter().all(|&w| w == 0)
+    }
+
+    /// Installs `pte` at `i`, syncing the metadata bits from its flags
+    /// (a remapped migration PTE carries its A/D history).
+    #[inline]
+    fn install(&mut self, i: usize, pte: Pte) {
+        self.ptes[i] = pte;
+        set_bit(&mut self.present, i);
+        if pte.accessed() {
+            set_bit(&mut self.accessed, i);
+        }
+        if pte.dirty() {
+            set_bit(&mut self.dirty, i);
         }
     }
 
+    /// Removes the PTE at `i`, clearing its metadata bits.
     #[inline]
-    fn write_u64(&mut self, mut x: u64) {
-        x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
-        x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
-        self.state = x ^ (x >> 31);
+    fn remove(&mut self, i: usize) {
+        self.ptes[i] = Pte::EMPTY;
+        clear_bit(&mut self.present, i);
+        clear_bit(&mut self.accessed, i);
+        clear_bit(&mut self.dirty, i);
     }
 }
 
-/// `BuildHasher` for [`U64Hasher`].
-pub type BuildU64Hasher = BuildHasherDefault<U64Hasher>;
-
 /// One valid last-level page-directory entry.
-#[derive(Debug)]
-pub enum PdEntry {
+enum PdEntry {
     /// The 2 MB span is mapped by a single huge-page PTE.
     Huge(Pte),
     /// The span is mapped by a leaf table of 512 base PTEs.
-    Table(Box<[Pte; 512]>),
+    Table(Box<Leaf>),
 }
 
 /// A virtual memory area registered by a workload.
@@ -69,10 +171,13 @@ pub struct Vma {
 /// The per-process page table plus the VMA list.
 #[derive(Default)]
 pub struct PageTable {
-    // lint:allow(unordered-map): seeded BuildU64Hasher; every escaping walk sorts its keys
-    pds: HashMap<u64, PdEntry, BuildU64Hasher>,
+    /// Flat last-level directory: slot `pde` covers `[pde << 21, (pde+1) << 21)`.
+    slots: Vec<Option<PdEntry>>,
+    /// Bit `pde` set iff `slots[pde]` is `Some`.
+    occupied: Vec<u64>,
     vmas: Vec<Vma>,
     mapped_bytes: u64,
+    valid_pdes: usize,
 }
 
 /// Result of translating a virtual address.
@@ -93,6 +198,7 @@ impl PageTable {
     /// Registers a VMA. Ranges must be 4 KB aligned and non-overlapping.
     pub fn mmap(&mut self, name: &str, range: VaRange, thp: bool) {
         assert!(range.start.is_4k_aligned() && range.end.is_4k_aligned(), "VMA must be page-aligned");
+        assert!(range.end.0 <= VA_LIMIT, "VMA beyond 47-bit user address space");
         assert!(
             !self.vmas.iter().any(|v| v.range.overlaps(range)),
             "VMA {range:?} overlaps an existing mapping"
@@ -120,32 +226,176 @@ impl PageTable {
 
     /// Number of valid last-level PDEs.
     pub fn valid_pde_count(&self) -> usize {
-        self.pds.len()
+        self.valid_pdes
+    }
+
+    /// Number of 1 GB directory groups the table spans. Packetized walks
+    /// (sanitizer census, move-set collection) fan out over `0..dir_count()`
+    /// via [`crate::engine::map_chunks`] and reduce in index order.
+    #[inline]
+    pub fn dir_count(&self) -> usize {
+        self.slots.len().div_ceil(DIR_SLOTS)
+    }
+
+    #[inline]
+    fn entry(&self, pde: u64) -> Option<&PdEntry> {
+        self.slots.get(pde as usize)?.as_ref()
+    }
+
+    #[inline]
+    fn entry_mut(&mut self, pde: u64) -> Option<&mut PdEntry> {
+        self.slots.get_mut(pde as usize)?.as_mut()
+    }
+
+    /// Inserts `entry` at `pde`'s slot, which must be vacant. Grows the
+    /// slot vector (and its occupancy bitmap) up to the new high PDE.
+    fn insert_entry(&mut self, pde: u64, entry: PdEntry) {
+        debug_assert!(pde < (VA_LIMIT >> 21), "address beyond 47-bit user space");
+        let i = pde as usize;
+        if i >= self.slots.len() {
+            self.slots.resize_with(i + 1, || None);
+            self.occupied.resize(self.slots.len().div_ceil(64), 0);
+        }
+        debug_assert!(self.slots[i].is_none(), "slot must be vacant");
+        self.slots[i] = Some(entry);
+        set_bit(&mut self.occupied, i);
+        self.valid_pdes += 1;
+    }
+
+    /// Removes `pde`'s slot (which must be occupied).
+    fn remove_entry(&mut self, pde: u64) {
+        let i = pde as usize;
+        debug_assert!(self.slots[i].is_some(), "slot occupied");
+        self.slots[i] = None;
+        clear_bit(&mut self.occupied, i);
+        self.valid_pdes -= 1;
     }
 
     /// Looks up the mapping covering `va` without touching flag bits.
     #[inline]
     pub fn translate(&self, va: VirtAddr) -> Option<Translation> {
-        match self.pds.get(&va.pde_index())? {
+        match self.entry(va.pde_index())? {
             PdEntry::Huge(pte) if pte.present() => {
                 Some(Translation { pte: *pte, size: FrameSize::Huge2M })
             }
-            PdEntry::Table(t) => {
-                let pte = t[va.pte_index()];
-                pte.present().then_some(Translation { pte, size: FrameSize::Base4K })
+            PdEntry::Table(leaf) => {
+                let i = va.pte_index();
+                test_bit(&leaf.present, i)
+                    .then(|| Translation { pte: leaf.ptes[i], size: FrameSize::Base4K })
             }
             _ => None,
         }
     }
 
+    /// Records an access to the page covering `va`: sets ACCESSED (and
+    /// DIRTY on a write) in the PTE and the packed side metadata, and
+    /// returns the **pre-access** PTE (whose POISON/PROT/TRACK flags the
+    /// machine's rare-path fault handling gates on) with the mapping size.
+    #[inline]
+    pub fn touch(&mut self, va: VirtAddr, is_write: bool) -> Option<(Pte, FrameSize)> {
+        match self.slots.get_mut(va.pde_index() as usize)?.as_mut()? {
+            PdEntry::Huge(pte) if pte.present() => {
+                let pre = *pte;
+                let want = PTE_ACCESSED | if is_write { PTE_DIRTY } else { 0 };
+                // Skip the read-modify-write when the bits already stick
+                // (the common case for a hot page between scan passes).
+                if pre.0 & want != want {
+                    pte.set(want);
+                }
+                Some((pre, FrameSize::Huge2M))
+            }
+            PdEntry::Table(leaf) => {
+                let i = va.pte_index();
+                if !test_bit(&leaf.present, i) {
+                    return None;
+                }
+                let pre = leaf.ptes[i];
+                if pre.0 & PTE_ACCESSED == 0 {
+                    leaf.ptes[i].set(PTE_ACCESSED);
+                    set_bit(&mut leaf.accessed, i);
+                }
+                if is_write && pre.0 & PTE_DIRTY == 0 {
+                    leaf.ptes[i].set(PTE_DIRTY);
+                    set_bit(&mut leaf.dirty, i);
+                }
+                Some((pre, FrameSize::Base4K))
+            }
+            _ => None,
+        }
+    }
+
+    /// Reads the ACCESSED bit of the page covering `va` from the packed
+    /// side metadata, without clearing anything — the pure read phase of
+    /// a packetized scan pass. Returns the bit and the mapping size.
+    #[inline]
+    pub fn accessed_at(&self, va: VirtAddr) -> Option<(bool, FrameSize)> {
+        match self.entry(va.pde_index())? {
+            PdEntry::Huge(pte) if pte.present() => Some((pte.accessed(), FrameSize::Huge2M)),
+            PdEntry::Table(leaf) => {
+                let i = va.pte_index();
+                if !test_bit(&leaf.present, i) {
+                    return None;
+                }
+                let bit = test_bit(&leaf.accessed, i);
+                debug_assert_eq!(bit, leaf.ptes[i].accessed(), "side metadata drift at {va:?}");
+                Some((bit, FrameSize::Base4K))
+            }
+            _ => None,
+        }
+    }
+
+    /// Reads **and clears** the ACCESSED bit of the page covering `va`
+    /// (PTE and side metadata together). Returns the old bit and the
+    /// mapping size.
+    #[inline]
+    pub fn scan_page_at(&mut self, va: VirtAddr) -> Option<(bool, FrameSize)> {
+        match self.slots.get_mut(va.pde_index() as usize)?.as_mut()? {
+            PdEntry::Huge(pte) if pte.present() => Some((pte.take_accessed(), FrameSize::Huge2M)),
+            PdEntry::Table(leaf) => {
+                let i = va.pte_index();
+                if !test_bit(&leaf.present, i) {
+                    return None;
+                }
+                let was = leaf.ptes[i].take_accessed();
+                clear_bit(&mut leaf.accessed, i);
+                Some((was, FrameSize::Base4K))
+            }
+            _ => None,
+        }
+    }
+
+    /// Clears the ACCESSED bit of the page covering `va` without reading
+    /// it — the apply half of a packetized scan whose read half already
+    /// captured the bit via [`PageTable::accessed_at`]. Returns the
+    /// mapping size, or `None` if unmapped.
+    #[inline]
+    pub fn clear_accessed_at(&mut self, va: VirtAddr) -> Option<FrameSize> {
+        self.scan_page_at(va).map(|(_, size)| size)
+    }
+
+    /// Clears software flag bits (POISON / PROT_NONE / WRITE_TRACK) on the
+    /// PTE covering `va`. Must not be used for ACCESSED/DIRTY — those are
+    /// mirrored in the side metadata.
+    #[inline]
+    pub fn clear_flags(&mut self, va: VirtAddr, bits: u64) {
+        debug_assert_eq!(bits & (PTE_ACCESSED | PTE_DIRTY), 0, "A/D bits go through touch/scan");
+        if let Some((pte, _)) = self.pte_mut(va) {
+            pte.clear(bits);
+        }
+    }
+
     /// Mutable access to the PTE covering `va`, with its mapping size.
+    ///
+    /// For the software bits (POISON / PROT_NONE / WRITE_TRACK) only:
+    /// mutating ACCESSED/DIRTY here would desync the packed side metadata
+    /// (the sanitizer cross-check catches exactly that).
     #[inline]
     pub fn pte_mut(&mut self, va: VirtAddr) -> Option<(&mut Pte, FrameSize)> {
-        match self.pds.get_mut(&va.pde_index())? {
+        match self.slots.get_mut(va.pde_index() as usize)?.as_mut()? {
             PdEntry::Huge(pte) if pte.present() => Some((pte, FrameSize::Huge2M)),
-            PdEntry::Table(t) => {
-                let pte = &mut t[va.pte_index()];
-                pte.present().then_some((pte, FrameSize::Base4K))
+            PdEntry::Table(leaf) => {
+                let i = va.pte_index();
+                test_bit(&leaf.present, i).then(move || (&mut leaf.ptes[i], FrameSize::Base4K))
             }
             _ => None,
         }
@@ -154,11 +404,16 @@ impl PageTable {
     /// Installs a 4 KB mapping at `va` (must not already be mapped).
     pub fn map_4k(&mut self, va: VirtAddr, pte: Pte) {
         debug_assert!(pte.present() && !pte.huge());
-        let slot = self.pds.entry(va.pde_index()).or_insert_with(|| PdEntry::Table(Box::new([Pte::EMPTY; 512])));
-        match slot {
-            PdEntry::Table(t) => {
-                assert!(!t[va.pte_index()].present(), "double map at {va:?}");
-                t[va.pte_index()] = pte;
+        assert!(va.0 < VA_LIMIT, "address beyond 47-bit user space");
+        let pde = va.pde_index();
+        if self.entry(pde).is_none() {
+            self.insert_entry(pde, PdEntry::Table(Leaf::empty()));
+        }
+        match self.entry_mut(pde).expect("slot just ensured") {
+            PdEntry::Table(leaf) => {
+                let i = va.pte_index();
+                assert!(!test_bit(&leaf.present, i), "double map at {va:?}");
+                leaf.install(i, pte);
             }
             PdEntry::Huge(_) => panic!("4K map inside huge mapping at {va:?}"),
         }
@@ -169,31 +424,34 @@ impl PageTable {
     pub fn map_2m(&mut self, va: VirtAddr, pte: Pte) {
         debug_assert!(pte.present() && pte.huge());
         assert!(va.is_2m_aligned(), "huge mapping must be 2 MB aligned");
-        let prev = self.pds.insert(va.pde_index(), PdEntry::Huge(pte));
-        assert!(prev.is_none(), "double map at {va:?}");
+        assert!(va.0 < VA_LIMIT, "address beyond 47-bit user space");
+        let pde = va.pde_index();
+        assert!(self.entry(pde).is_none(), "double map at {va:?}");
+        self.insert_entry(pde, PdEntry::Huge(pte));
         self.mapped_bytes += PAGE_SIZE_2M;
     }
 
     /// Removes the mapping covering `va`, returning the old PTE and size.
     pub fn unmap(&mut self, va: VirtAddr) -> Option<(Pte, FrameSize)> {
         let pde = va.pde_index();
-        match self.pds.get_mut(&pde)? {
+        match self.entry_mut(pde)? {
             PdEntry::Huge(pte) => {
                 let old = *pte;
-                self.pds.remove(&pde);
+                self.remove_entry(pde);
                 self.mapped_bytes -= PAGE_SIZE_2M;
                 Some((old, FrameSize::Huge2M))
             }
-            PdEntry::Table(t) => {
-                let slot = &mut t[va.pte_index()];
-                if !slot.present() {
+            PdEntry::Table(leaf) => {
+                let i = va.pte_index();
+                if !test_bit(&leaf.present, i) {
                     return None;
                 }
-                let old = *slot;
-                *slot = Pte::EMPTY;
+                let old = leaf.ptes[i];
+                leaf.remove(i);
+                let prune = leaf.is_empty();
                 self.mapped_bytes -= PAGE_SIZE_4K;
-                if t.iter().all(|p| !p.present()) {
-                    self.pds.remove(&pde);
+                if prune {
+                    self.remove_entry(pde);
                 }
                 Some((old, FrameSize::Base4K))
             }
@@ -204,105 +462,126 @@ impl PageTable {
     ///
     /// The callback receives the page base address, a mutable PTE reference
     /// and the mapping size. Huge pages are visited once (at their 2 MB
-    /// base) if that base is inside the range.
+    /// base) if that base is inside the range. Pages are visited in
+    /// ascending address order. The callback must not toggle
+    /// ACCESSED/DIRTY (see the module docs on side metadata).
     pub fn for_each_mapped(
         &mut self,
         range: VaRange,
         mut f: impl FnMut(VirtAddr, &mut Pte, FrameSize),
     ) {
-        let first_pde = range.start.pde_index();
-        let last_pde = if range.is_empty() { return } else { (range.end.0 - 1) >> 21 };
-        for pde in first_pde..=last_pde {
-            let Some(entry) = self.pds.get_mut(&pde) else { continue };
-            let base = VirtAddr(pde << 21);
-            match entry {
+        if range.is_empty() || self.slots.is_empty() {
+            return;
+        }
+        let first_pde = range.start.pde_index() as usize;
+        let last_pde = ((range.end.0 - 1) >> 21) as usize;
+        let PageTable { slots, occupied, .. } = self;
+        for_set_bits(occupied, first_pde, last_pde, |pde| {
+            let base = VirtAddr((pde as u64) << 21);
+            match slots[pde].as_mut().expect("occupied bit implies slot") {
                 PdEntry::Huge(pte) => {
                     if pte.present() && range.contains(base) {
                         f(base, pte, FrameSize::Huge2M);
                     }
                 }
-                PdEntry::Table(t) => {
-                    for (i, pte) in t.iter_mut().enumerate() {
-                        if pte.present() {
-                            let va = base + (i as u64) * PAGE_SIZE_4K;
-                            if range.contains(va) {
-                                f(va, pte, FrameSize::Base4K);
-                            }
+                PdEntry::Table(leaf) => {
+                    for_set_bits(&leaf.present, 0, DIR_SLOTS - 1, |i| {
+                        let va = base + (i as u64) * PAGE_SIZE_4K;
+                        if range.contains(va) {
+                            f(va, &mut leaf.ptes[i], FrameSize::Base4K);
                         }
-                    }
+                    });
                 }
             }
-        }
+        });
     }
 
     /// Read-only variant of [`PageTable::for_each_mapped`]: visits every
-    /// mapped page in `range` without touching PTE flag bits. Used by the
-    /// `MTM_CHECK` sanitizer, which must observe without perturbing.
+    /// mapped page in `range` without touching PTE flag bits, in ascending
+    /// address order. Used by the `MTM_CHECK` sanitizer and by packetized
+    /// read phases, which must observe without perturbing.
     pub fn for_each_mapped_in(
         &self,
         range: VaRange,
         mut f: impl FnMut(VirtAddr, Pte, FrameSize),
     ) {
-        if range.is_empty() {
+        if range.is_empty() || self.slots.is_empty() {
             return;
         }
-        let first_pde = range.start.pde_index();
-        let last_pde = (range.end.0 - 1) >> 21;
-        for pde in first_pde..=last_pde {
-            let Some(entry) = self.pds.get(&pde) else { continue };
-            let base = VirtAddr(pde << 21);
-            match entry {
+        let first_pde = range.start.pde_index() as usize;
+        let last_pde = ((range.end.0 - 1) >> 21) as usize;
+        for_set_bits(&self.occupied, first_pde, last_pde, |pde| {
+            let base = VirtAddr((pde as u64) << 21);
+            match self.slots[pde].as_ref().expect("occupied bit implies slot") {
                 PdEntry::Huge(pte) => {
                     if pte.present() && range.contains(base) {
                         f(base, *pte, FrameSize::Huge2M);
                     }
                 }
-                PdEntry::Table(t) => {
-                    for (i, pte) in t.iter().enumerate() {
-                        if pte.present() {
-                            let va = base + (i as u64) * PAGE_SIZE_4K;
-                            if range.contains(va) {
-                                f(va, *pte, FrameSize::Base4K);
-                            }
+                PdEntry::Table(leaf) => {
+                    for_set_bits(&leaf.present, 0, DIR_SLOTS - 1, |i| {
+                        let va = base + (i as u64) * PAGE_SIZE_4K;
+                        if range.contains(va) {
+                            f(va, leaf.ptes[i], FrameSize::Base4K);
                         }
-                    }
+                    });
                 }
             }
+        });
+    }
+
+    /// Read-only visit of every mapped page in directory group `di`
+    /// (1 GB of virtual space), in ascending address order. The unit of
+    /// packetized whole-table walks: visiting groups `0..dir_count()` in
+    /// order reproduces [`PageTable::for_each_mapped_all`] exactly.
+    pub fn for_each_mapped_in_dir(&self, di: usize, mut f: impl FnMut(VirtAddr, Pte, FrameSize)) {
+        let lo = di * DIR_SLOTS;
+        if lo >= self.slots.len() {
+            return;
         }
+        #[cfg(debug_assertions)]
+        let mut last: Option<u64> = None;
+        for_set_bits(&self.occupied, lo, lo + DIR_SLOTS - 1, |pde| {
+            let base = VirtAddr((pde as u64) << 21);
+            let mut visit = |va: VirtAddr, pte: Pte, size: FrameSize| {
+                #[cfg(debug_assertions)]
+                {
+                    debug_assert!(
+                        last.map_or(true, |l| l < va.0),
+                        "scan walk must yield strictly ascending VAs"
+                    );
+                    last = Some(va.0);
+                }
+                f(va, pte, size);
+            };
+            match self.slots[pde].as_ref().expect("occupied bit implies slot") {
+                PdEntry::Huge(pte) => {
+                    if pte.present() {
+                        visit(base, *pte, FrameSize::Huge2M);
+                    }
+                }
+                PdEntry::Table(leaf) => {
+                    for_set_bits(&leaf.present, 0, DIR_SLOTS - 1, |i| {
+                        visit(base + (i as u64) * PAGE_SIZE_4K, leaf.ptes[i], FrameSize::Base4K);
+                    });
+                }
+            }
+        });
     }
 
     /// Visits every mapped page in the whole table in ascending address
-    /// order, read-only. Iterates the PD index's *sorted* keys — never
-    /// the hasher's bucket order, and never the full 2^43-slot PDE space
-    /// (which `for_each_mapped` would scan linearly for an unbounded
-    /// range).
+    /// order, read-only. Ascending order falls out of dense index
+    /// iteration (no sorting, no hasher bucket order).
     pub fn for_each_mapped_all(&self, mut f: impl FnMut(VirtAddr, Pte, FrameSize)) {
-        let mut pdes: Vec<u64> = self.pds.keys().copied().collect();
-        pdes.sort_unstable();
-        for pde in pdes {
-            let Some(entry) = self.pds.get(&pde) else { continue };
-            let base = VirtAddr(pde << 21);
-            match entry {
-                PdEntry::Huge(pte) => {
-                    if pte.present() {
-                        f(base, *pte, FrameSize::Huge2M);
-                    }
-                }
-                PdEntry::Table(t) => {
-                    for (i, pte) in t.iter().enumerate() {
-                        if pte.present() {
-                            f(base + (i as u64) * PAGE_SIZE_4K, *pte, FrameSize::Base4K);
-                        }
-                    }
-                }
-            }
+        for di in 0..self.dir_count() {
+            self.for_each_mapped_in_dir(di, &mut f);
         }
     }
 
-    /// Collects the base addresses of mapped pages in `range`.
-    pub fn mapped_pages(&mut self, range: VaRange) -> Vec<(VirtAddr, FrameSize)> {
+    /// Collects the base addresses of mapped pages in `range`, ascending.
+    pub fn mapped_pages(&self, range: VaRange) -> Vec<(VirtAddr, FrameSize)> {
         let mut out = Vec::new();
-        self.for_each_mapped(range, |va, _, size| out.push((va, size)));
+        self.for_each_mapped_in(range, |va, _, size| out.push((va, size)));
         out
     }
 
@@ -310,15 +589,20 @@ impl PageTable {
     ///
     /// These are the default memory regions profilers start from.
     pub fn valid_pde_bases(&self) -> Vec<VirtAddr> {
-        let mut v: Vec<VirtAddr> = self.pds.keys().map(|&p| VirtAddr(p << 21)).collect();
-        v.sort();
+        let mut v = Vec::with_capacity(self.valid_pdes);
+        if !self.slots.is_empty() {
+            for_set_bits(&self.occupied, 0, self.slots.len() - 1, |pde| {
+                v.push(VirtAddr((pde as u64) << 21));
+            });
+        }
+        debug_assert!(v.windows(2).all(|w| w[0] < w[1]), "PDE bases ascend by construction");
         v
     }
 
     /// Number of mapped pages (of either size) in `range`.
-    pub fn mapped_page_count(&mut self, range: VaRange) -> usize {
+    pub fn mapped_page_count(&self, range: VaRange) -> usize {
         let mut n = 0;
-        self.for_each_mapped(range, |_, _, _| n += 1);
+        self.for_each_mapped_in(range, |_, _, _| n += 1);
         n
     }
 
@@ -330,25 +614,102 @@ impl PageTable {
     /// migrated. Returns `false` if `va` is not covered by a huge mapping.
     pub fn split_huge(&mut self, va: VirtAddr) -> bool {
         let pde = va.pde_index();
-        let Some(PdEntry::Huge(pte)) = self.pds.get(&pde) else { return false };
-        let huge = *pte;
+        let Some(entry) = self.entry_mut(pde) else { return false };
+        let PdEntry::Huge(huge) = entry else { return false };
+        let huge = *huge;
         let base_frame = huge.frame();
-        let mut table = Box::new([Pte::EMPTY; 512]);
-        for (i, slot) in table.iter_mut().enumerate() {
+        let mut leaf = Leaf::empty();
+        for i in 0..DIR_SLOTS {
             let frame = crate::addr::PhysAddr::new(
                 base_frame.component(),
                 base_frame.offset() + (i as u64) * PAGE_SIZE_4K,
             );
             let mut p = Pte::map(frame, false);
             // Carry over A/D state so profiling history is not lost.
-            p.0 |= huge.0 & (crate::pte::PTE_ACCESSED | crate::pte::PTE_DIRTY);
-            *slot = p;
+            p.0 |= huge.0 & (PTE_ACCESSED | PTE_DIRTY);
+            leaf.ptes[i] = p;
         }
-        self.pds.insert(pde, PdEntry::Table(table));
+        leaf.present = [!0u64; WORDS];
+        if huge.accessed() {
+            leaf.accessed = [!0u64; WORDS];
+        }
+        if huge.dirty() {
+            leaf.dirty = [!0u64; WORDS];
+        }
+        *self.entry_mut(pde).expect("entry just matched") = PdEntry::Table(leaf);
         // 2 MB was mapped before and after; `mapped_bytes` is unchanged
         // (512 * 4 KB == 2 MB).
         debug_assert_eq!(PTES_PER_PD * PAGE_SIZE_4K, PAGE_SIZE_2M);
         true
+    }
+
+    /// Re-derives every packed-metadata word from the PTEs (the source of
+    /// truth) and reports mismatches — the `MTM_CHECK` sanitizer's
+    /// side-metadata cross-check. Returns human-readable violations;
+    /// empty means every bitmap word, occupancy bit and the valid-PDE
+    /// counter are consistent.
+    pub fn check_side_metadata(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        if self.occupied.len() != self.slots.len().div_ceil(64) {
+            v.push(format!(
+                "occupancy bitmap has {} words but {} slots need {}",
+                self.occupied.len(),
+                self.slots.len(),
+                self.slots.len().div_ceil(64)
+            ));
+        }
+        let mut pdes = 0usize;
+        for (pde, slot) in self.slots.iter().enumerate() {
+            let occupied = test_bit(&self.occupied, pde);
+            if occupied != slot.is_some() {
+                v.push(format!(
+                    "pde {pde}: occupancy bit {occupied} but slot present {}",
+                    slot.is_some()
+                ));
+            }
+            pdes += slot.is_some() as usize;
+            let base = (pde as u64) << 21;
+            let Some(PdEntry::Table(leaf)) = slot.as_ref() else { continue };
+            let (mut present, mut accessed, mut dirty) =
+                ([0u64; WORDS], [0u64; WORDS], [0u64; WORDS]);
+            for (i, pte) in leaf.ptes.iter().enumerate() {
+                if pte.present() {
+                    set_bit(&mut present, i);
+                    if pte.accessed() {
+                        set_bit(&mut accessed, i);
+                    }
+                    if pte.dirty() {
+                        set_bit(&mut dirty, i);
+                    }
+                }
+            }
+            for w in 0..WORDS {
+                for (name, got, want) in [
+                    ("present", leaf.present[w], present[w]),
+                    ("accessed", leaf.accessed[w], accessed[w]),
+                    ("dirty", leaf.dirty[w], dirty[w]),
+                ] {
+                    if got != want {
+                        v.push(format!(
+                            "pde base {base:#x} {name} word {w}: metadata {got:#018x} but PTEs say {want:#018x}"
+                        ));
+                    }
+                }
+            }
+        }
+        let pop: usize = self.occupied.iter().map(|w| w.count_ones() as usize).sum();
+        if pop != pdes {
+            v.push(format!(
+                "occupancy bitmap has {pop} set bits but {pdes} occupied slots (stray bits past the slot vector)"
+            ));
+        }
+        if pdes != self.valid_pdes {
+            v.push(format!(
+                "valid PDE counter {} but {pdes} occupied slots across the table",
+                self.valid_pdes
+            ));
+        }
+        v
     }
 }
 
@@ -375,6 +736,7 @@ mod tests {
         assert_eq!(old.frame(), PhysAddr::new(1, 0x1000));
         assert!(pt.translate(va).is_none());
         assert_eq!(pt.valid_pde_count(), 0, "empty leaf tables are pruned");
+        assert!(pt.check_side_metadata().is_empty());
     }
 
     #[test]
@@ -432,6 +794,7 @@ mod tests {
         assert_eq!(t.pte.frame(), PhysAddr::new(3, 0x20_0000 + 5 * PAGE_SIZE_4K));
         assert!(t.pte.accessed(), "A bit carried to subpages");
         assert_eq!(pt.mapped_bytes(), PAGE_SIZE_2M);
+        assert!(pt.check_side_metadata().is_empty(), "split syncs the bitmaps");
     }
 
     #[test]
@@ -441,5 +804,68 @@ mod tests {
         pt.map_4k(VirtAddr(PAGE_SIZE_2M), pte4k(0, 0x1000));
         let bases = pt.valid_pde_bases();
         assert_eq!(bases, vec![VirtAddr(PAGE_SIZE_2M), VirtAddr(6 * PAGE_SIZE_2M)]);
+    }
+
+    #[test]
+    fn touch_and_scan_keep_side_metadata_in_sync() {
+        let mut pt = PageTable::new();
+        let va = VirtAddr(3 * PAGE_SIZE_4K);
+        pt.map_4k(va, pte4k(0, 0x4000));
+        assert_eq!(pt.accessed_at(va), Some((false, FrameSize::Base4K)));
+        let (pre, size) = pt.touch(va, true).unwrap();
+        assert!(!pre.accessed(), "touch returns the pre-access PTE");
+        assert_eq!(size, FrameSize::Base4K);
+        assert_eq!(pt.accessed_at(va), Some((true, FrameSize::Base4K)));
+        assert!(pt.translate(va).unwrap().pte.dirty());
+        assert!(pt.check_side_metadata().is_empty());
+        let (was, _) = pt.scan_page_at(va).unwrap();
+        assert!(was);
+        assert_eq!(pt.accessed_at(va), Some((false, FrameSize::Base4K)));
+        assert!(!pt.translate(va).unwrap().pte.accessed(), "scan clears the PTE bit too");
+        assert!(pt.check_side_metadata().is_empty());
+    }
+
+    #[test]
+    fn remap_with_history_syncs_bitmaps() {
+        // A migration remap installs a PTE that already carries A/D.
+        let mut pt = PageTable::new();
+        let va = VirtAddr(0);
+        let mut pte = pte4k(0, 0);
+        pte.set(PTE_ACCESSED | PTE_DIRTY);
+        pt.map_4k(va, pte);
+        assert_eq!(pt.accessed_at(va), Some((true, FrameSize::Base4K)));
+        assert!(pt.check_side_metadata().is_empty());
+        pt.unmap(va).unwrap();
+        assert!(pt.check_side_metadata().is_empty());
+    }
+
+    #[test]
+    fn walks_cross_directory_boundaries_in_order() {
+        let mut pt = PageTable::new();
+        // One page in directory group 0, one in group 1 (offset 1 GB), one
+        // in group 3.
+        let gb = 1u64 << 30;
+        for (i, base) in [0u64, gb, 3 * gb].iter().enumerate() {
+            pt.map_4k(VirtAddr(base + PAGE_SIZE_4K), pte4k(0, (i as u64) * PAGE_SIZE_4K));
+        }
+        assert_eq!(pt.dir_count(), 4);
+        let mut seen = Vec::new();
+        pt.for_each_mapped_all(|va, _, _| seen.push(va.0));
+        assert_eq!(seen, vec![PAGE_SIZE_4K, gb + PAGE_SIZE_4K, 3 * gb + PAGE_SIZE_4K]);
+        let whole = VaRange::new(VirtAddr(0), VirtAddr(4 * gb));
+        assert_eq!(pt.mapped_page_count(whole), 3);
+        assert_eq!(pt.valid_pde_count(), 3);
+    }
+
+    #[test]
+    fn side_metadata_check_catches_drift() {
+        let mut pt = PageTable::new();
+        let va = VirtAddr(0);
+        pt.map_4k(va, pte4k(0, 0));
+        // Violate the contract: set ACCESSED behind the metadata's back.
+        pt.pte_mut(va).unwrap().0.set(PTE_ACCESSED);
+        let v = pt.check_side_metadata();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("accessed"), "{v:?}");
     }
 }

@@ -241,18 +241,32 @@ impl RunReport {
     /// last quarter of the run, after migration-driven placement has
     /// (largely) converged — the regime the paper's hours-long runs spend
     /// most of their time in.
+    ///
+    /// The window covers the last `ceil(n/4)` intervals: its start index
+    /// is `w = n - ceil(n/4)` (arithmetically equal to the old opaque
+    /// `3*n/4`, but now the "round the window *up* to a quarter when `n %
+    /// 4 != 0`" boundary is explicit), and the `w >= 1` guard keeps
+    /// `w - 1` (the breakdown snapshot the deltas are taken against) in
+    /// bounds by construction instead of by luck of the `n < 4` early
+    /// return.
+    /// All deltas are computed saturating: breakdown traces are monotone
+    /// in a healthy run, but a degenerate trace (e.g. from a partially
+    /// recorded or merged run) must clamp to zero, not panic in debug
+    /// builds or wrap into garbage.
     pub fn steady(&self) -> (crate::clock::TimeBreakdown, u64) {
         let n = self.breakdown_trace.len();
         if n < 4 {
             return (self.breakdown, self.ops_completed);
         }
-        let w = 3 * n / 4;
+        let quarter = n.div_ceil(4);
+        let w = (n - quarter).max(1);
         let b0 = self.breakdown_trace[w - 1];
         let b1 = self.breakdown_trace[n - 1];
+        // f64 "saturating subtraction": clamp each field at zero.
         let delta = crate::clock::TimeBreakdown {
-            app_ns: b1.app_ns - b0.app_ns,
-            profiling_ns: b1.profiling_ns - b0.profiling_ns,
-            migration_ns: b1.migration_ns - b0.migration_ns,
+            app_ns: (b1.app_ns - b0.app_ns).max(0.0),
+            profiling_ns: (b1.profiling_ns - b0.profiling_ns).max(0.0),
+            migration_ns: (b1.migration_ns - b0.migration_ns).max(0.0),
         };
         let ops = self.ops_trace[n - 1].saturating_sub(self.ops_trace[w - 1]);
         (delta, ops)
@@ -282,6 +296,18 @@ impl RunReport {
 /// the way), commits the interval and returns its wall time. The caller
 /// is responsible for invoking `manager.on_interval` afterwards — which
 /// lets experiment harnesses probe manager state between intervals.
+///
+/// # Phase structure and parallelism
+///
+/// Each interval is three phases. **Access simulation** (the tick loop
+/// below) is inherently serial: every access mutates the clock, counters,
+/// PEBS and PTE state, and the access order *is* the simulated workload.
+/// **Profiling scans** and **migration batches** (inside the manager
+/// hooks) contain read-only page-table sweeps; those run as work packets
+/// on [`crate::engine`]'s pool (`MTM_RUN_WORKERS`) with their results
+/// reduced in packet order, then apply their effects serially in the
+/// original order — so the interval's outcome is byte-identical for any
+/// worker count.
 pub fn drive_interval(
     machine: &mut Machine,
     manager: &mut dyn MemoryManager,
@@ -516,6 +542,40 @@ mod tests {
         for &w in &report.interval_ns {
             assert!(w >= 50_000.0);
         }
+    }
+
+    fn bd(ns: f64) -> crate::clock::TimeBreakdown {
+        crate::clock::TimeBreakdown { app_ns: ns, profiling_ns: ns / 2.0, migration_ns: ns / 4.0 }
+    }
+
+    #[test]
+    fn steady_clamps_degenerate_traces() {
+        let topo = tiny_two_tier(2 * PAGE_SIZE_2M, 8 * PAGE_SIZE_2M);
+        let mut cfg = MachineConfig::new(topo, 1);
+        cfg.interval_ns = 20_000.0;
+        let mut machine = Machine::new(cfg);
+        let mut wl = Strider { range: VaRange::from_len(VirtAddr(0), PAGE_SIZE_2M), cursor: 0, ops: 0 };
+        let mut report = run_scenario(&mut machine, &mut FirstTouchPolicy, &mut wl, 4);
+
+        // A degenerate (non-monotone) trace: the tail snapshot is *below*
+        // the window anchor, as a partially recorded or merged run can
+        // produce. Every field must clamp to zero — not panic in debug,
+        // not wrap.
+        report.breakdown_trace = vec![bd(100.0), bd(200.0), bd(300.0), bd(50.0)];
+        report.ops_trace = vec![10, 20, 30, 5];
+        let (delta, ops) = report.steady();
+        assert_eq!(delta.app_ns, 0.0);
+        assert_eq!(delta.profiling_ns, 0.0);
+        assert_eq!(delta.migration_ns, 0.0);
+        assert_eq!(ops, 0);
+
+        // Healthy monotone trace with n % 4 != 0: the window is the last
+        // ceil(n/4) = 2 intervals, anchored at index w - 1 = 2.
+        report.breakdown_trace = vec![bd(10.0), bd(20.0), bd(30.0), bd(40.0), bd(60.0)];
+        report.ops_trace = vec![1, 2, 3, 4, 9];
+        let (delta, ops) = report.steady();
+        assert_eq!(delta.app_ns, 30.0);
+        assert_eq!(ops, 6);
     }
 
     #[test]

@@ -69,6 +69,27 @@ if ! cmp -s "$smoke_err.all" results/ALL.txt; then
     exit 1
 fi
 
+# Packet-engine determinism: the same quick matrix with the intra-run
+# worker pool fanned out to 4 packet workers. The interval loop's
+# profiling scans and census sweeps reduce in packet order, so
+# results/ALL.txt must come out byte-identical to the serial
+# (MTM_RUN_WORKERS=1) run above regardless of thread scheduling.
+echo "==> packet-engine smoke (MTM_RUN_WORKERS=4 MTM_QUICK=1 MTM_JOBS=4)"
+if ! MTM_RUN_WORKERS=4 MTM_QUICK=1 MTM_JOBS=4 cargo run --release -q -p mtm-harness --bin all \
+        >/dev/null 2>"$smoke_err"; then
+    cat "$smoke_err" >&2
+    echo "verify: FAIL (MTM_RUN_WORKERS smoke run failed)"
+    exit 1
+fi
+if grep -E '^warning:' "$smoke_err"; then
+    echo "verify: FAIL (warning lines on MTM_RUN_WORKERS smoke stderr, see above)"
+    exit 1
+fi
+if ! cmp -s "$smoke_err.all" results/ALL.txt; then
+    echo "verify: FAIL (MTM_RUN_WORKERS=4 perturbed results/ALL.txt)"
+    exit 1
+fi
+
 # Telemetry smoke: the same quick matrix with MTM_TELEMETRY=1 must emit
 # per-run JSON under results/telemetry/ that parses and carries the
 # required top-level keys (telemetry_check validates every file). The

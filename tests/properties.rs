@@ -333,11 +333,110 @@ fn retry_never_exceeds_attempt_bound() {
             prop_assert!(report.attempts >= 1 && report.attempts <= policy.max_attempts);
             prop_assert_eq!(report.retries, report.attempts - 1);
             prop_assert!(report.backoff_ns <= policy.max_total_backoff_ns() + 1e-9);
+            // The accumulated backoff must be BIT-identical to the serial
+            // sum of the exact integer-doubling steps — backoff comes from
+            // u64 doubling, not `f64::powi`, so no platform or rounding
+            // mode can produce a different sequence.
+            let mut expected_backoff = 0.0f64;
+            for attempt in 1..report.attempts {
+                expected_backoff += policy.backoff_ns(attempt);
+            }
+            prop_assert_eq!(
+                report.backoff_ns.to_bits(),
+                expected_backoff.to_bits(),
+                "backoff sequence is bit-identical to the integer-doubling reference"
+            );
             match res {
                 Ok(out) => prop_assert_eq!(out.pages, 512),
                 Err(e) => {
                     prop_assert!(e.is_transient(), "only injected transients can fail here")
                 }
+            }
+        }
+    );
+}
+
+/// The page table's packed side metadata (per-leaf present/accessed/dirty
+/// bitmaps) always agrees with the PTE bits — the source of truth — after
+/// arbitrary interleavings of accesses, scans, huge-page splits,
+/// relocations and measurement resets. `check_side_metadata` re-derives
+/// every bitmap word from the PTEs, so an empty report IS the agreement.
+#[test]
+fn side_metadata_agrees_with_pte_bits() {
+    prop_check!(
+        "side_metadata_agrees_with_pte_bits",
+        48,
+        (gen::u64_range(0, 10_000), gen::vec_in(gen::u8_range(0, 5), 1, 48)),
+        |(seed, ops)| {
+            let topo = tiny_two_tier(8 * PAGE_SIZE_2M, 8 * PAGE_SIZE_2M);
+            let mut m = Machine::new(MachineConfig::new(topo, 1));
+            // One base-page VMA and one THP VMA, so scans and relocations
+            // exercise both leaf bitmaps and huge entries (including the
+            // split path under a fragmented destination).
+            m.mmap("base", VaRange::from_len(VirtAddr(0), 2 * PAGE_SIZE_2M), false);
+            let thp_at = 4 * PAGE_SIZE_2M;
+            m.mmap("thp", VaRange::from_len(VirtAddr(thp_at), 2 * PAGE_SIZE_2M), true);
+            m.prefault_range(VaRange::from_len(VirtAddr(0), 2 * PAGE_SIZE_2M), &[0]).unwrap();
+            m.prefault_range(VaRange::from_len(VirtAddr(thp_at), 2 * PAGE_SIZE_2M), &[0]).unwrap();
+            let mut rng = tiersim::rng::SplitMix64::new(*seed);
+            for &op in ops {
+                // Half the addresses land in the base VMA, half in the THP
+                // VMA (the hole between them exercises unmapped paths).
+                let va = VirtAddr(rng.below(6 * PAGE_SIZE_2M)).page_4k();
+                match op {
+                    0 => {
+                        let _ = m.access(0, va, AccessKind::Read);
+                    }
+                    1 => {
+                        let _ = m.access(0, va, AccessKind::Write);
+                    }
+                    2 => {
+                        let _ = m.scan_page(va);
+                    }
+                    3 => {
+                        let _ = m.scan_page_clear(va);
+                    }
+                    4 => {
+                        let range = VaRange::from_len(va.page_2m(), PAGE_SIZE_2M);
+                        let dst = (rng.below(2)) as u16;
+                        let split = rng.below(2) == 0;
+                        let _ = tiersim::migrate::relocate_range(&mut m, range, dst, 0, 1, split);
+                    }
+                    _ => m.reset_measurement(),
+                }
+                let violations = m.page_table().check_side_metadata();
+                prop_assert!(violations.is_empty(), "packed side metadata drifted from PTE bits");
+            }
+        }
+    );
+}
+
+/// The retry backoff sequence is exact integer doubling capped at the
+/// policy max: platform-exact for any base, cap and attempt number, with
+/// an exact `u64 -> f64` conversion (steps are capped far below 2^53).
+#[test]
+fn backoff_sequence_is_exact_integer_doubling() {
+    prop_check!(
+        "backoff_sequence_is_exact_integer_doubling",
+        64,
+        (gen::u64_range(1, 1 << 40), gen::u64_range(1, 1 << 45), gen::u8_range(1, 40)),
+        |(base, max, attempts)| {
+            let policy =
+                RetryPolicy { max_attempts: 8, base_backoff_ns: *base, max_backoff_ns: *max };
+            let mut reference = *base;
+            for attempt in 1..=(*attempts as u32) {
+                let step = policy.backoff_step_ns(attempt);
+                prop_assert_eq!(step, reference.min(*max), "exact doubling, capped");
+                prop_assert_eq!(
+                    policy.backoff_ns(attempt).to_bits(),
+                    (step as f64).to_bits(),
+                    "f64 view is the exact conversion of the integer step"
+                );
+                reference = reference.saturating_mul(2);
+            }
+            // Monotone non-decreasing in the attempt number.
+            for attempt in 1..(*attempts as u32) {
+                prop_assert!(policy.backoff_step_ns(attempt + 1) >= policy.backoff_step_ns(attempt));
             }
         }
     );
