@@ -6,6 +6,7 @@
 //! binary (`cargo run --release -p mtm-harness --bin fig4`). The `all`
 //! binary runs everything and writes the reports under `results/`.
 
+pub mod admission;
 pub mod fig1;
 pub mod fig10;
 pub mod fig11;

@@ -41,11 +41,14 @@ pub const WORKLOAD: &str = "GUPS";
 
 /// The bandwidth-degradation window for a run of `intervals` intervals:
 /// the middle third, so every run has a pre-fault warmup and a
-/// post-fault recovery phase.
+/// post-fault recovery phase. The window is clamped to the run — the
+/// unclamped `(2*intervals/3).max(a+1)` exceeds `intervals` for tiny
+/// interval counts, yielding a window that never closes and a recovery
+/// column measured from beyond the end of the run.
 pub fn bw_window(intervals: u64) -> (u64, u64) {
     let a = (intervals / 3).max(1);
-    let b = (2 * intervals / 3).max(a + 1);
-    (a, b)
+    let b = (2 * intervals / 3).max(a + 1).min(intervals);
+    (a.min(b.saturating_sub(1)), b)
 }
 
 /// The `MTM_FAULTS`-grammar spec of one level, or `None` for `healthy`.
@@ -75,14 +78,27 @@ pub fn run_cell(manager: &str, level: &str, opts: &Opts, base_seed: u64) -> RunR
     run_pair_with_faults(manager, WORKLOAD, opts, faults)
 }
 
+/// How a run's wall time behaved after the bandwidth window closed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Recovery {
+    /// Back within 10% of the healthy mean this many intervals after the
+    /// window closed.
+    After(u64),
+    /// Observed past the window but never returned to healthy.
+    Never,
+    /// Nothing to judge: the run recorded no intervals past the window
+    /// (tiny `MTM_QUICK` runs) or the healthy reference recorded none at
+    /// all. Reported as `n/a`, not as a bogus `never`.
+    NotObservable,
+}
+
 /// Intervals until the wall time per interval returns to within 10% of
-/// the healthy run's mean, counted from the end of the bandwidth window;
-/// `None` when it never does within the run.
-fn recovery_intervals(faulty: &RunReport, healthy: &RunReport, window_end: u64) -> Option<u64> {
+/// the healthy run's mean, counted from the end of the bandwidth window.
+fn recovery_intervals(faulty: &RunReport, healthy: &RunReport, window_end: u64) -> Recovery {
     let walls = &faulty.telemetry.series.wall_ns;
     let healthy_walls = &healthy.telemetry.series.wall_ns;
-    if healthy_walls.is_empty() {
-        return None;
+    if healthy_walls.is_empty() || window_end as usize >= walls.len() {
+        return Recovery::NotObservable;
     }
     let healthy_mean = healthy_walls.iter().sum::<f64>() / healthy_walls.len() as f64;
     walls
@@ -90,7 +106,7 @@ fn recovery_intervals(faulty: &RunReport, healthy: &RunReport, window_end: u64) 
         .enumerate()
         .skip(window_end as usize)
         .find(|&(_, &w)| w <= 1.1 * healthy_mean)
-        .map(|(i, _)| i as u64 - window_end)
+        .map_or(Recovery::Never, |(i, _)| Recovery::After(i as u64 - window_end))
 }
 
 /// Renders the robustness table.
@@ -134,8 +150,9 @@ pub fn run(opts: &Opts) -> String {
                 .is_some_and(|s| s.contains("bw="))
             {
                 match recovery_intervals(r, healthy, window_end) {
-                    Some(n) => format!("{n} iv"),
-                    None => "never".to_string(),
+                    Recovery::After(n) => format!("{n} iv"),
+                    Recovery::Never => "never".to_string(),
+                    Recovery::NotObservable => "n/a".to_string(),
                 }
             } else {
                 "-".to_string()
@@ -173,4 +190,21 @@ pub fn run(opts: &Opts) -> String {
         \u{20}          per-interval wall time is back within 10% of healthy\n",
     );
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bw_window_stays_inside_the_run() {
+        for intervals in 1..=200 {
+            let (a, b) = bw_window(intervals);
+            assert!(a < b, "window non-empty for {intervals} intervals");
+            assert!(b <= intervals, "window closes inside the run for {intervals} intervals");
+        }
+        // Committed goldens pin the default and quick-mode windows.
+        assert_eq!(bw_window(120), (40, 80));
+        assert_eq!(bw_window(12), (4, 8));
+    }
 }

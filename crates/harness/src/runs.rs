@@ -29,11 +29,47 @@ pub const OVERALL_MANAGERS: [&str; 7] =
 /// The six workloads of Table 2.
 pub const WORKLOADS: [&str; 6] = ["GUPS", "VoltDB", "Cassandra", "BFS", "SSSP", "Spark"];
 
-/// Builds an MTM configuration matching the options.
+/// Builds an MTM configuration matching the options, including the
+/// `MTM_ADMIT` / `MTM_SHADOW` environment plumbing. With both unset the
+/// configuration — and every result derived from it — is identical to a
+/// build without the admission plane.
 pub fn mtm_config(opts: &Opts) -> MtmConfig {
     let mut cfg = MtmConfig::default();
     cfg.promote_bytes = opts.promote_budget();
+    let (admission, shadow) = env_admission_setup();
+    cfg.admission = admission;
+    cfg.shadow = shadow;
     cfg
+}
+
+/// The admission policy and shadow mode configured through `MTM_ADMIT` /
+/// `MTM_SHADOW`, read once per process. Unknown values print a
+/// `warning:` line — once — and fall back to the legacy defaults
+/// (`always`, shadow off) instead of silently selecting something the
+/// user did not ask for.
+fn env_admission_setup() -> (mtm::AdmissionKind, bool) {
+    static SETUP: OnceLock<(mtm::AdmissionKind, bool)> = OnceLock::new();
+    *SETUP.get_or_init(|| {
+        let kind = match std::env::var("MTM_ADMIT") {
+            Ok(s) if !s.is_empty() => mtm::AdmissionKind::parse(&s).unwrap_or_else(|| {
+                eprintln!(
+                    "warning: MTM_ADMIT={s:?} is not a policy \
+                     (always|pingpong|ratelimit|hotness-delta); using always"
+                );
+                mtm::AdmissionKind::Always
+            }),
+            _ => mtm::AdmissionKind::Always,
+        };
+        let shadow = match std::env::var("MTM_SHADOW").as_deref() {
+            Ok("1") => true,
+            Ok("") | Ok("0") | Err(_) => false,
+            Ok(s) => {
+                eprintln!("warning: MTM_SHADOW={s:?} is not 0 or 1; shadow mode stays off");
+                false
+            }
+        };
+        (kind, shadow)
+    })
 }
 
 /// Builds a manager by name, or `None` for an unknown name; `MTM` and

@@ -138,6 +138,24 @@ fn d3_allows_seeded_prngs_and_mentions_in_prose() {
     assert!(scan_source("crates/mtm/src/lib.rs", "let y = operand::width();\n").is_empty());
 }
 
+/// The admission plane makes per-batch migration decisions, so its module
+/// must sit inside both the D2 (ordered collections) and D3 (entropy)
+/// scopes: a policy iterating a `HashMap` or drawing entropy would break
+/// the byte-identical-reports contract for `results/admission.txt`.
+#[test]
+fn admission_policy_module_is_in_determinism_scope() {
+    let f = scan_source("crates/mtm/src/admission.rs", "use std::collections::HashMap;\n");
+    assert_eq!(rules_of(&f), vec![Rule::UnorderedMap]);
+    let f = scan_source("crates/mtm/src/admission.rs", "let mut rng = thread_rng();\n");
+    assert_eq!(rules_of(&f), vec![Rule::Entropy]);
+    // The BTreeMap state the built-in policies actually keep is clean.
+    let good = "use std::collections::BTreeMap;\nstruct P { seen: BTreeMap<u64, u64> }\n";
+    assert!(scan_source("crates/mtm/src/admission.rs", good).is_empty());
+    // The harness sweep that renders the figure is equally in scope.
+    let f = scan_source("crates/harness/src/admission.rs", "use std::collections::HashSet;\n");
+    assert_eq!(rules_of(&f), vec![Rule::UnorderedMap]);
+}
+
 // ------------------------------------------------------------------- D4
 
 #[test]

@@ -55,6 +55,13 @@ pub struct MtmConfig {
     /// Ablation: asynchronous page copy. Fig. 7 "w/o async migration"
     /// charges the full copy on the critical path.
     pub async_migration: bool,
+    /// Admission policy consulted before every candidate migration
+    /// (`MTM_ADMIT`; `Always` reproduces the legacy pipeline exactly).
+    pub admission: crate::admission::AdmissionKind,
+    /// Nomad-style non-exclusive migration (`MTM_SHADOW=1`): demotions
+    /// retain a shadow copy in the fast tier's free space so a clean
+    /// rehit repromotes with zero copy bytes.
+    pub shadow: bool,
     /// RNG seed for page sampling.
     pub seed: u64,
 }
@@ -79,6 +86,8 @@ impl Default for MtmConfig {
             overhead_control: true,
             pebs_assist: true,
             async_migration: true,
+            admission: crate::admission::AdmissionKind::Always,
+            shadow: false,
             seed: 0x171717,
         }
     }

@@ -13,6 +13,7 @@ use tiersim::machine::Machine;
 use tiersim::sim::{MemoryManager, RegionStats};
 use tiersim::tier::ComponentId;
 
+use crate::admission::AdmissionPolicy;
 use crate::config::{InitialPlacement, MtmConfig};
 use crate::migration::{MigrationEngine, MigrationStats};
 use crate::policy::{promote_and_demote, slow_first_order, PolicyStats};
@@ -23,6 +24,7 @@ pub struct MtmManager {
     cfg: MtmConfig,
     profiler: AdaptiveProfiler,
     engine: MigrationEngine,
+    admission: Box<dyn AdmissionPolicy>,
     policy_totals: PolicyStats,
 }
 
@@ -31,7 +33,8 @@ impl MtmManager {
     pub fn new(cfg: MtmConfig, nodes: usize) -> MtmManager {
         let profiler = AdaptiveProfiler::new(cfg.clone(), nodes);
         let engine = MigrationEngine::new(cfg.copy_threads, cfg.async_migration);
-        MtmManager { cfg, profiler, engine, policy_totals: PolicyStats::default() }
+        let admission = cfg.admission.build(&cfg);
+        MtmManager { cfg, profiler, engine, admission, policy_totals: PolicyStats::default() }
     }
 
     /// The profiler (for experiment probes).
@@ -84,6 +87,9 @@ impl MemoryManager for MtmManager {
     }
 
     fn init(&mut self, m: &mut Machine) {
+        if self.cfg.shadow {
+            m.set_shadow_mode(true);
+        }
         self.profiler.init(m);
     }
 
@@ -125,6 +131,7 @@ impl MemoryManager for MtmManager {
 
     fn on_interval(&mut self, m: &mut Machine, interval: u64) {
         self.engine.note_interval(interval);
+        self.admission.note_interval(interval);
         // Commit asynchronous migrations started last interval first, so
         // residency is current when the profiler re-plans.
         let mig_span = obs::SpanTimer::start(m.elapsed_ns());
@@ -135,7 +142,13 @@ impl MemoryManager for MtmManager {
         self.profiler.finish_interval(m);
         let now = m.elapsed_ns();
         prof_span.stop(&mut m.obs_mut().reg, obs::names::SPAN_PROFILE_NS, now);
-        let stats = promote_and_demote(m, &mut self.profiler, &mut self.engine, &self.cfg);
+        let stats = promote_and_demote(
+            m,
+            &mut self.profiler,
+            &mut self.engine,
+            self.admission.as_mut(),
+            &self.cfg,
+        );
         self.policy_totals.promoted += stats.promoted;
         self.policy_totals.promoted_bytes += stats.promoted_bytes;
         self.policy_totals.demoted += stats.demoted;

@@ -32,6 +32,7 @@
 //! # let _ = (machine, manager);
 //! ```
 
+pub mod admission;
 pub mod config;
 pub mod daemon;
 pub mod histogram;
@@ -41,6 +42,7 @@ pub mod profiler;
 pub mod region;
 pub mod residency;
 
+pub use admission::{AdmissionKind, AdmissionPolicy, Candidate, MigrationKind, Verdict};
 pub use config::{InitialPlacement, MtmConfig};
 pub use daemon::MtmManager;
 pub use histogram::HotnessHistogram;

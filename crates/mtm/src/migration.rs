@@ -36,6 +36,19 @@ struct PendingAsync {
     watch_id: u64,
     /// Commit attempts so far (0 for a freshly queued migration).
     attempts: u32,
+    /// Exact bytes this migration will land on `dst` — pages of the range
+    /// not already resident there, from a residency walk at enqueue time.
+    /// `range.len()` over-counts whenever the range straddles components
+    /// or partially sits on the destination already.
+    inbound: u64,
+    /// Bytes charged to the enqueue ledger for this entry. Carried
+    /// unchanged across abort re-enqueues so the conservation invariant
+    /// (enqueued == pending + committed + dropped) holds by construction
+    /// instead of double-counting across the abort boundary.
+    ledger: u64,
+    /// The range overlapped a recently migrated range when it was
+    /// requested: committing this entry is ping-pong traffic.
+    bounce: bool,
 }
 
 /// Mechanism statistics.
@@ -63,6 +76,12 @@ pub struct MigrationStats {
     pub deferred: u64,
     /// Total bytes migrated by this engine.
     pub bytes: u64,
+    /// Ledger: exact bytes charged when entries joined the async queue.
+    pub enqueued_bytes: u64,
+    /// Ledger: bytes settled as committed when their entry left the queue.
+    pub committed_bytes: u64,
+    /// Ledger: bytes settled as dropped when their entry left the queue.
+    pub dropped_bytes: u64,
 }
 
 /// The migration engine owned by the MTM daemon.
@@ -122,20 +141,34 @@ impl MigrationEngine {
     }
 
     /// Bytes already committed (by pending migrations) against `component`
-    /// — space the policy must treat as reserved.
+    /// — space the policy must treat as reserved. Deliberately the whole
+    /// range length, an upper bound: capacity decisions stay conservative
+    /// (a page that turns out to be resident already simply frees slack at
+    /// commit time). The *exact* figures from the enqueue-time residency
+    /// walk live in the byte ledger ([`MigrationStats::enqueued_bytes`]),
+    /// which has to balance, not bound.
     pub fn reserved_bytes(&self, component: ComponentId) -> u64 {
         self.pending.iter().filter(|p| p.dst == component).map(|p| p.range.len()).sum()
     }
 
     /// Bytes that pending migrations will free on `component` (their
-    /// sources). Pending demotions make room for promotions queued after
-    /// them, since the queue commits in order.
+    /// majority source). Pending demotions make room for promotions queued
+    /// after them, since the queue commits in order. Range-length based,
+    /// like [`MigrationEngine::reserved_bytes`].
     pub fn outgoing_bytes(&self, component: ComponentId) -> u64 {
         self.pending
             .iter()
             .filter(|p| p.src == Some(component))
             .map(|p| p.range.len())
             .sum()
+    }
+
+    /// Ledger bytes still sitting in the queue. The engine maintains
+    /// `enqueued_bytes == pending_ledger_bytes() + committed_bytes +
+    /// dropped_bytes` across arbitrary enqueue/abort/commit/drop
+    /// sequences.
+    pub fn pending_ledger_bytes(&self) -> u64 {
+        self.pending.iter().map(|p| p.ledger).sum()
     }
 
     /// Number of in-flight asynchronous migrations.
@@ -156,9 +189,12 @@ impl MigrationEngine {
     /// the next [`MigrationEngine::resolve_pending`]; otherwise the region
     /// moves immediately with the full cost on the critical path.
     pub fn migrate(&mut self, m: &mut Machine, range: VaRange, dst: ComponentId, node: NodeId) {
+        // Ping-pong detection must run before this request joins the
+        // history, or every migration would trivially "bounce" off itself.
+        let bounce = self.recently_migrated(range);
         self.history.push_back((self.now_interval, range));
         if self.async_enabled {
-            self.enqueue_async(m, range, dst, node, 0);
+            self.enqueue_async(m, range, dst, node, 0, bounce, None);
         } else {
             let (res, report) =
                 relocate_with_retry(m, range, dst, node, self.copy_threads, false, self.retry);
@@ -170,6 +206,12 @@ impl MigrationEngine {
                     self.stats.bytes += out.bytes;
                     m.obs_mut().reg.counter_add(obs::names::SYNC_DIRECT, 1);
                     m.record_event(obs::EventKind::SyncDirect { bytes: out.bytes, dst });
+                    if bounce {
+                        m.obs_mut().reg.counter_add(
+                            obs::names::WASTED_MIGRATION_BYTES,
+                            out.bytes - out.shadow_hit_bytes,
+                        );
+                    }
                 }
                 Err(e) if e.is_transient() => {
                     // Graceful degradation: the retry budget is spent, so
@@ -179,17 +221,22 @@ impl MigrationEngine {
                     self.stats.deferred += 1;
                     m.obs_mut().reg.counter_add(obs::names::MIGRATION_DEFERRALS, 1);
                     m.record_event(obs::EventKind::MigrationDeferred { bytes: range.len(), dst });
-                    self.enqueue_async(m, range, dst, node, 1);
+                    self.enqueue_async(m, range, dst, node, 1, bounce, None);
                 }
                 Err(e) => {
                     m.charge_migration(report.backoff_ns);
-                    self.drop_migration(m, e);
+                    self.drop_migration(m, e, 0);
                 }
             }
         }
     }
 
     /// Arms write tracking and queues an asynchronous migration.
+    ///
+    /// `carried_ledger` is `None` for a migration entering the queue for
+    /// the first time (its exact inbound bytes are charged to the enqueue
+    /// ledger) and `Some` for an abort re-enqueue, which carries its
+    /// original charge forward instead of charging again.
     fn enqueue_async(
         &mut self,
         m: &mut Machine,
@@ -197,15 +244,39 @@ impl MigrationEngine {
         dst: ComponentId,
         node: NodeId,
         attempts: u32,
+        bounce: bool,
+        carried_ledger: Option<u64>,
     ) {
         let src = crate::residency::majority_component(m, range);
+        let inbound: u64 = crate::residency::residency_exact(m, range)
+            .into_iter()
+            .filter(|&(c, _)| c != dst)
+            .map(|(_, b)| b)
+            .sum();
+        let ledger = carried_ledger.unwrap_or(inbound);
+        if carried_ledger.is_none() {
+            self.stats.enqueued_bytes += ledger;
+        }
         let watch_id = m.arm_write_watch(range);
-        self.pending.push(PendingAsync { range, src, dst, node, watch_id, attempts });
+        self.pending.push(PendingAsync {
+            range,
+            src,
+            dst,
+            node,
+            watch_id,
+            attempts,
+            inbound,
+            ledger,
+            bounce,
+        });
     }
 
-    /// Records a permanently dropped migration.
-    fn drop_migration(&mut self, m: &mut Machine, e: MigrateError) {
+    /// Records a permanently dropped migration. `ledger_bytes` settles the
+    /// queue ledger for entries that were pending (0 for sync-path drops,
+    /// which never joined the queue).
+    fn drop_migration(&mut self, m: &mut Machine, e: MigrateError, ledger_bytes: u64) {
         self.stats.dropped += 1;
+        self.stats.dropped_bytes += ledger_bytes;
         match e {
             MigrateError::NoSpace(_) => self.stats.dropped_nospace += 1,
             MigrateError::NothingMapped => self.stats.dropped_empty += 1,
@@ -251,21 +322,39 @@ impl MigrationEngine {
                     }
                     m.charge_migration(critical);
                     self.stats.bytes += out.bytes;
+                    self.stats.committed_bytes += p.ledger;
+                    if p.bounce {
+                        m.obs_mut().reg.counter_add(
+                            obs::names::WASTED_MIGRATION_BYTES,
+                            out.bytes - out.shadow_hit_bytes,
+                        );
+                    }
                 }
                 Err(e) if e.is_transient() && p.attempts + 1 < MAX_ASYNC_ATTEMPTS => {
                     // Nomad-style transactional abort: nothing moved (the
                     // fault gate fires before any mutation), so the copy
                     // is simply abandoned and the migration re-enqueued
                     // for the next commit point with fresh write tracking.
+                    // The re-enqueue carries the entry's original ledger
+                    // charge so bytes are not double-counted across the
+                    // abort boundary.
                     self.stats.aborted += 1;
                     m.obs_mut().reg.counter_add(obs::names::MIGRATION_ABORTS, 1);
                     m.record_event(obs::EventKind::MigrationAborted {
-                        bytes: p.range.len(),
+                        bytes: p.inbound,
                         dst: p.dst,
                     });
-                    self.enqueue_async(m, p.range, p.dst, p.node, p.attempts + 1);
+                    self.enqueue_async(
+                        m,
+                        p.range,
+                        p.dst,
+                        p.node,
+                        p.attempts + 1,
+                        p.bounce,
+                        Some(p.ledger),
+                    );
                 }
-                Err(e) => self.drop_migration(m, e),
+                Err(e) => self.drop_migration(m, e, p.ledger),
             }
         }
         // With the sanitizer armed, every commit point re-verifies the
@@ -415,6 +504,68 @@ mod tests {
         e.resolve_pending(&mut m);
         assert_eq!(e.stats().dropped, 1, "third region cannot fit");
         assert_eq!(e.stats().async_clean, 2);
+        // Every drop path disarms its write watch: a leaked watch would
+        // keep taxing writes (and pin tracking bits) for the whole run.
+        assert_eq!(m.active_watches(), 0, "no watch survives the commit point");
+        // The queue ledger settled every entry exactly once.
+        let s = e.stats();
+        assert_eq!(s.enqueued_bytes, 6 * PAGE_SIZE_2M);
+        assert_eq!(s.committed_bytes, 4 * PAGE_SIZE_2M);
+        assert_eq!(s.dropped_bytes, 2 * PAGE_SIZE_2M);
+        assert_eq!(e.pending_ledger_bytes(), 0);
+    }
+
+    #[test]
+    fn ledger_is_exact_while_capacity_reservation_stays_an_upper_bound() {
+        let mut m = machine();
+        // Second half of the range is already resident on the destination:
+        // only the first half will actually land there.
+        let lo = VaRange::from_len(VirtAddr(4 * PAGE_SIZE_2M), PAGE_SIZE_2M);
+        let hi = VaRange::from_len(VirtAddr(5 * PAGE_SIZE_2M), PAGE_SIZE_2M);
+        m.mmap("b", VaRange { start: lo.start, end: hi.end }, false);
+        m.prefault_range(lo, &[0]).unwrap();
+        m.prefault_range(hi, &[1]).unwrap();
+        let mut e = MigrationEngine::new(4, true);
+        e.migrate(&mut m, VaRange { start: lo.start, end: hi.end }, 1, 0);
+        // Capacity reservation is deliberately the whole range length (a
+        // conservative upper bound for admission decisions)...
+        assert_eq!(e.reserved_bytes(1), 2 * PAGE_SIZE_2M);
+        // ...while the byte ledger charges exactly what will move.
+        assert_eq!(e.stats().enqueued_bytes, PAGE_SIZE_2M, "only the half not already there");
+        assert_eq!(e.pending_ledger_bytes(), PAGE_SIZE_2M);
+        e.resolve_pending(&mut m);
+        assert_eq!(e.stats().committed_bytes, PAGE_SIZE_2M);
+        assert_eq!(e.stats().bytes, PAGE_SIZE_2M);
+        assert_eq!(e.pending_ledger_bytes(), 0);
+    }
+
+    #[test]
+    fn abort_reenqueue_does_not_double_count_the_ledger() {
+        let plan = faultsim::FaultPlan::parse("busy=1").unwrap();
+        let mut m = machine();
+        let mut e = MigrationEngine::new(4, true);
+        let range = VaRange::from_len(VirtAddr(0), PAGE_SIZE_2M);
+        e.migrate(&mut m, range, 1, 0);
+        assert_eq!(e.stats().enqueued_bytes, PAGE_SIZE_2M);
+        m.install_faults(plan, 7);
+        // Every commit attempt fails: abort + re-enqueue, then a final
+        // transient drop once MAX_ASYNC_ATTEMPTS is exhausted.
+        for _ in 0..4 {
+            e.resolve_pending(&mut m);
+            let s = e.stats();
+            assert_eq!(
+                s.enqueued_bytes,
+                e.pending_ledger_bytes() + s.committed_bytes + s.dropped_bytes,
+                "conservation must hold across every abort boundary"
+            );
+        }
+        let s = e.stats();
+        assert_eq!(s.enqueued_bytes, PAGE_SIZE_2M, "charged once, not per attempt");
+        assert_eq!(s.dropped_bytes, PAGE_SIZE_2M);
+        assert_eq!(s.committed_bytes, 0);
+        assert!(s.aborted >= 1);
+        assert_eq!(e.in_flight(), 0);
+        assert_eq!(m.active_watches(), 0, "aborts and drops both disarm watches");
     }
 
     #[test]

@@ -15,6 +15,7 @@ use tiersim::addr::{VaRange, VirtAddr, PAGE_SIZE_2M};
 use tiersim::machine::Machine;
 use tiersim::tier::{ComponentId, NodeId};
 
+use crate::admission::{AdmissionPolicy, Candidate, MigrationKind, Verdict};
 use crate::config::MtmConfig;
 use crate::histogram::HotnessHistogram;
 use crate::migration::MigrationEngine;
@@ -51,6 +52,14 @@ fn effective_free(m: &Machine, engine: &MigrationEngine, c: ComponentId) -> u64 
     (m.allocator(c).free() + engine.outgoing_bytes(c)).saturating_sub(engine.reserved_bytes(c))
 }
 
+/// Books an admission veto: counters and ring event move together so the
+/// sanitizer's counter/event pairing holds.
+fn note_rejected(m: &mut Machine, bytes: u64, dst: ComponentId, reason: &'static str) {
+    m.obs_mut().reg.counter_add(obs::names::ADMIT_REJECTED, 1);
+    m.obs_mut().reg.counter_add(obs::names::ADMIT_REJECTED_BYTES, bytes);
+    m.record_event(obs::EventKind::AdmissionRejected { bytes, dst, reason });
+}
+
 /// Demotes coldest-first regions resident on `target` until it has `need`
 /// effective free bytes, moving each to the next lower tier (from `node`'s
 /// view) with capacity. Never demotes a region at least as hot as the
@@ -58,6 +67,7 @@ fn effective_free(m: &Machine, engine: &MigrationEngine, c: ComponentId) -> u64 
 fn make_space(
     m: &mut Machine,
     engine: &mut MigrationEngine,
+    admission: &mut dyn AdmissionPolicy,
     cold_order: &[Snapshot],
     target: ComponentId,
     node: NodeId,
@@ -101,6 +111,22 @@ fn make_space(
         for rank in (target_rank + 1)..view.len() {
             let down = view[rank];
             if effective_free(m, engine, down) >= victim.range.len() {
+                let verdict = admission.admit(
+                    m,
+                    &Candidate {
+                        range: victim.range,
+                        src: target,
+                        dst: down,
+                        node,
+                        kind: MigrationKind::Demotion,
+                        whi: victim.whi,
+                        victim_whi: None,
+                    },
+                );
+                if let Verdict::Reject(reason) = verdict {
+                    note_rejected(m, victim.range.len(), down, reason);
+                    break; // Victim vetoed: leave it resident, try the next.
+                }
                 engine.migrate(m, victim.range, down, node);
                 stats.demoted += 1;
                 stats.demoted_bytes += victim.range.len();
@@ -119,11 +145,14 @@ fn make_space(
     effective_free(m, engine, target) >= need
 }
 
-/// Runs one interval of the promotion/demotion policy.
+/// Runs one interval of the promotion/demotion policy. Every candidate
+/// batch passes through `admission` before it reaches the engine; a
+/// rejected batch is skipped without charging the migration budget.
 pub fn promote_and_demote(
     m: &mut Machine,
     profiler: &mut AdaptiveProfiler,
     engine: &mut MigrationEngine,
+    admission: &mut dyn AdmissionPolicy,
     cfg: &MtmConfig,
 ) -> PolicyStats {
     let mut stats = PolicyStats::default();
@@ -204,10 +233,34 @@ pub fn promote_and_demote(
             // reserved for solidly hot regions (top half of the observed
             // range) so warm-region sampling spikes do not cause churn.
             let may_evict = cand.whi >= 0.5 * max_whi;
-            let fits = effective_free(m, engine, dest) >= mig_range.len()
+            let free_enough = effective_free(m, engine, dest) >= mig_range.len();
+            // Consult admission before any space is made: a veto must not
+            // leave speculative demotions behind. When the move would
+            // displace residents, the coldest region's hotness is the
+            // eviction bar the candidate has to clear.
+            let victim_whi =
+                if free_enough { None } else { cold_order.first().map(|s| s.whi) };
+            let verdict = admission.admit(
+                m,
+                &Candidate {
+                    range: mig_range,
+                    src: cur,
+                    dst: dest,
+                    node,
+                    kind: MigrationKind::Promotion,
+                    whi: cand.whi,
+                    victim_whi,
+                },
+            );
+            if let Verdict::Reject(reason) = verdict {
+                note_rejected(m, mig_range.len(), dest, reason);
+                break; // Candidate vetoed outright: on to the next region.
+            }
+            let fits = free_enough
                 || may_evict && make_space(
                     m,
                     engine,
+                    admission,
                     &cold_order,
                     dest,
                     node,
@@ -286,7 +339,7 @@ mod tests {
         let (mut m, mut p, mut e, cfg) = setup();
         set_whi(&mut p, 3, 2.9);
         set_whi(&mut p, 5, 2.5);
-        let stats = promote_and_demote(&mut m, &mut p, &mut e, &cfg);
+        let stats = promote_and_demote(&mut m, &mut p, &mut e, &mut crate::admission::AlwaysAdmit, &cfg);
         assert_eq!(stats.promoted, 2);
         assert_eq!(stats.promoted_bytes, 2 * PAGE_SIZE_2M);
         // Regions 3 and 5 now live on the fast component.
@@ -302,14 +355,14 @@ mod tests {
         for i in 0..8 {
             set_whi(&mut p, i, 2.0 + i as f64 * 0.1);
         }
-        let stats = promote_and_demote(&mut m, &mut p, &mut e, &cfg);
+        let stats = promote_and_demote(&mut m, &mut p, &mut e, &mut crate::admission::AlwaysAdmit, &cfg);
         assert_eq!(stats.promoted_bytes, cfg.promote_bytes);
     }
 
     #[test]
     fn cold_everything_promotes_nothing() {
         let (mut m, mut p, mut e, cfg) = setup();
-        let stats = promote_and_demote(&mut m, &mut p, &mut e, &cfg);
+        let stats = promote_and_demote(&mut m, &mut p, &mut e, &mut crate::admission::AlwaysAdmit, &cfg);
         assert_eq!(stats.promoted, 0);
         assert_eq!(stats.demoted, 0);
     }
@@ -331,7 +384,7 @@ mod tests {
         };
         assert_eq!(merged, 1);
         set_whi(&mut p, 0, 2.9);
-        let stats = promote_and_demote(&mut m, &mut p, &mut e, &cfg);
+        let stats = promote_and_demote(&mut m, &mut p, &mut e, &mut crate::admission::AlwaysAdmit, &cfg);
         assert_eq!(stats.promoted, 1);
         assert_eq!(stats.promoted_bytes, cfg.promote_bytes, "one budget-sized slice");
         assert!(p.regions().len() >= 2, "region split at the budget boundary");
@@ -360,7 +413,7 @@ mod tests {
         p.regions_mut_for_test()[0].whi = 0.0;
         p.regions_mut_for_test()[1].whi = 2.9;
         let mut e = MigrationEngine::new(4, false);
-        let stats = promote_and_demote(&mut m, &mut p, &mut e, &cfg);
+        let stats = promote_and_demote(&mut m, &mut p, &mut e, &mut crate::admission::AlwaysAdmit, &cfg);
         assert_eq!(stats.promoted, 1);
         assert_eq!(stats.demoted, 1);
         assert_eq!(m.component_of(VirtAddr(4 * PAGE_SIZE_2M)), Some(0), "hot promoted");

@@ -25,9 +25,9 @@ pub fn majority_component(m: &Machine, range: VaRange) -> Option<ComponentId> {
 
 /// Bytes of the region resident on each component (exact; walks the page
 /// table). Used by tests and reports rather than the hot path.
-pub fn residency_exact(m: &mut Machine, range: VaRange) -> Vec<(ComponentId, u64)> {
+pub fn residency_exact(m: &Machine, range: VaRange) -> Vec<(ComponentId, u64)> {
     let mut map = std::collections::BTreeMap::new();
-    for (va, size) in m.page_table_mut().mapped_pages(range) {
+    for (va, size) in m.page_table().mapped_pages(range) {
         let c = m.component_of(va).expect("page mapped");
         *map.entry(c).or_insert(0u64) += size.bytes();
     }
@@ -50,7 +50,7 @@ mod tests {
         assert_eq!(majority_component(&m, range), None);
         m.prefault_range(range, &[1]).unwrap();
         assert_eq!(majority_component(&m, range), Some(1));
-        let exact = residency_exact(&mut m, range);
+        let exact = residency_exact(&m, range);
         assert_eq!(exact, vec![(1, PAGE_SIZE_2M)]);
     }
 }

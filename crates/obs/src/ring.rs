@@ -53,6 +53,12 @@ pub enum EventKind {
     /// A synchronous migration exhausted its retry budget and was
     /// downgraded to an asynchronous attempt (graceful degradation).
     MigrationDeferred { bytes: u64, dst: ComponentId },
+    /// The admission policy rejected a candidate batch before it reached
+    /// the migration engine (`reason` names the policy that vetoed it).
+    AdmissionRejected { bytes: u64, dst: ComponentId, reason: &'static str },
+    /// A repromotion was satisfied from a clean shadow copy retained in
+    /// the fast tier — zero bytes crossed the interconnect.
+    ShadowHit { bytes: u64, dst: ComponentId },
 }
 
 impl EventKind {
@@ -73,6 +79,8 @@ impl EventKind {
             EventKind::MigrationRetried { .. } => "migration_retried",
             EventKind::MigrationAborted { .. } => "migration_aborted",
             EventKind::MigrationDeferred { .. } => "migration_deferred",
+            EventKind::AdmissionRejected { .. } => "admission_rejected",
+            EventKind::ShadowHit { .. } => "shadow_hit",
         }
     }
 
@@ -119,9 +127,16 @@ impl EventKind {
                 u("backoff_ns", backoff_ns);
             }
             EventKind::MigrationAborted { bytes, dst }
-            | EventKind::MigrationDeferred { bytes, dst } => {
+            | EventKind::MigrationDeferred { bytes, dst }
+            | EventKind::ShadowHit { bytes, dst } => {
                 u("bytes", bytes);
                 u("dst", dst as u64);
+            }
+            EventKind::AdmissionRejected { bytes, dst, reason } => {
+                u("bytes", bytes);
+                u("dst", dst as u64);
+                out.push_str(",\"reason\":");
+                json::write_str(reason, out);
             }
         }
     }
@@ -266,6 +281,8 @@ mod tests {
             EventKind::MigrationRetried { retries: 2, backoff_ns: 40_000 },
             EventKind::MigrationAborted { bytes: 1, dst: 0 },
             EventKind::MigrationDeferred { bytes: 1, dst: 1 },
+            EventKind::AdmissionRejected { bytes: 1, dst: 0, reason: "pingpong" },
+            EventKind::ShadowHit { bytes: 1, dst: 0 },
         ];
         let mut labels: Vec<_> = kinds.iter().map(|k| k.label()).collect();
         labels.sort_unstable();

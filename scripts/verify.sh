@@ -34,7 +34,7 @@ fi
 # override, an n/a experiment row, a failed result write — fails verify.
 echo "==> quick harness smoke (MTM_QUICK=1 MTM_JOBS=4)"
 smoke_err=$(mktemp)
-trap 'rm -f "$smoke_err" "$smoke_err.all"' EXIT
+trap 'rm -f "$smoke_err" "$smoke_err.all" "$smoke_err.adm"' EXIT
 if ! MTM_QUICK=1 MTM_JOBS=4 cargo run --release -q -p mtm-harness --bin all \
         >/dev/null 2>"$smoke_err"; then
     cat "$smoke_err" >&2
@@ -126,6 +126,55 @@ if ! MTM_CHECK=1 MTM_QUICK=1 MTM_JOBS=4 cargo run --release -q -p mtm-harness --
 fi
 if grep -E '^warning:' "$smoke_err"; then
     echo "verify: FAIL (warning lines on resilience stderr, see above)"
+    exit 1
+fi
+
+# Admission smoke: the admission-control/shadow-copy sweep
+# (bin/admission) in quick mode. Three passes: MTM_JOBS=1 and MTM_JOBS=4
+# must produce byte-identical results/admission.txt (the sweep seeds
+# every cell from its own label, never from execution order), and a
+# MTM_CHECK=1 pass must pass the sanitizer — shadow-copy retention
+# changes the allocator books (used == mapped + shadow), so this is the
+# cell where a broken shadow ledger would surface. The warning: gate
+# applies to all three.
+echo "==> admission smoke (MTM_QUICK=1, MTM_JOBS=1 vs 4, then MTM_CHECK=1)"
+if ! MTM_QUICK=1 MTM_JOBS=1 cargo run --release -q -p mtm-harness --bin admission \
+        >/dev/null 2>"$smoke_err"; then
+    cat "$smoke_err" >&2
+    echo "verify: FAIL (admission smoke run failed)"
+    exit 1
+fi
+if grep -E '^warning:' "$smoke_err"; then
+    echo "verify: FAIL (warning lines on admission stderr, see above)"
+    exit 1
+fi
+cp results/admission.txt "$smoke_err.adm"
+if ! MTM_QUICK=1 MTM_JOBS=4 cargo run --release -q -p mtm-harness --bin admission \
+        >/dev/null 2>"$smoke_err"; then
+    cat "$smoke_err" >&2
+    echo "verify: FAIL (admission MTM_JOBS=4 smoke run failed)"
+    exit 1
+fi
+if grep -E '^warning:' "$smoke_err"; then
+    echo "verify: FAIL (warning lines on admission MTM_JOBS=4 stderr, see above)"
+    exit 1
+fi
+if ! cmp -s "$smoke_err.adm" results/admission.txt; then
+    echo "verify: FAIL (results/admission.txt differs between MTM_JOBS=1 and 4)"
+    exit 1
+fi
+if ! MTM_CHECK=1 MTM_QUICK=1 MTM_JOBS=4 cargo run --release -q -p mtm-harness --bin admission \
+        >/dev/null 2>"$smoke_err"; then
+    cat "$smoke_err" >&2
+    echo "verify: FAIL (admission MTM_CHECK smoke run failed)"
+    exit 1
+fi
+if grep -E '^warning:' "$smoke_err"; then
+    echo "verify: FAIL (warning lines on admission MTM_CHECK stderr, see above)"
+    exit 1
+fi
+if ! cmp -s "$smoke_err.adm" results/admission.txt; then
+    echo "verify: FAIL (MTM_CHECK=1 perturbed results/admission.txt)"
     exit 1
 fi
 

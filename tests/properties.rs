@@ -442,6 +442,117 @@ fn backoff_sequence_is_exact_integer_doubling() {
     );
 }
 
+/// The async-migration queue ledger is conserved after every operation:
+/// bytes charged at enqueue time always equal the bytes still pending
+/// plus the bytes settled as committed or dropped — for arbitrary
+/// interleavings of enqueues, dirtying writes and commit rounds, under
+/// arbitrary transient-fault pressure (busy pages force the
+/// abort/re-enqueue path, alloc failures the retry path, and the small
+/// destination the full-drop path).
+#[test]
+fn async_queue_ledger_is_conserved() {
+    prop_check!(
+        "async_queue_ledger_is_conserved",
+        48,
+        (
+            gen::u64_range(0, 10_000),
+            gen::f64_range(0.0, 1.0),
+            gen::f64_range(0.0, 0.5),
+            gen::vec_in((gen::u8_range(0, 3), gen::u64_range(0, 5)), 1, 48),
+        ),
+        |(seed, busy, allocfail, ops)| {
+            let topo = tiny_two_tier(16 * PAGE_SIZE_2M, 4 * PAGE_SIZE_2M);
+            let mut m = Machine::new(MachineConfig::new(topo, 1));
+            let r = VaRange::from_len(VirtAddr(0), 6 * PAGE_SIZE_2M);
+            m.mmap("a", r, false);
+            m.prefault_range(r, &[0]).unwrap();
+            let plan =
+                faultsim::FaultPlan::parse(&format!("busy={busy},allocfail={allocfail}")).unwrap();
+            m.install_faults(plan, *seed);
+            let mut e = mtm::MigrationEngine::new(2, true);
+            let mut interval = 0u64;
+            for &(op, page) in ops {
+                let range = VaRange::from_len(VirtAddr(page * PAGE_SIZE_2M), PAGE_SIZE_2M);
+                match op {
+                    0 => e.migrate(&mut m, range, 1, 0),
+                    1 => e.migrate(&mut m, range, 0, 0),
+                    2 => {
+                        m.access(0, range.start, AccessKind::Write);
+                    }
+                    _ => {
+                        interval += 1;
+                        e.note_interval(interval);
+                        e.resolve_pending(&mut m);
+                    }
+                }
+                let s = e.stats();
+                prop_assert_eq!(
+                    s.enqueued_bytes,
+                    e.pending_ledger_bytes() + s.committed_bytes + s.dropped_bytes,
+                    "conservation must hold after every operation"
+                );
+            }
+            // Drain: each entry settles within MAX_ASYNC_ATTEMPTS commit
+            // rounds, so a few more resolve all of them — and every settled
+            // entry must have disarmed its write watch.
+            for _ in 0..8 {
+                interval += 1;
+                e.note_interval(interval);
+                e.resolve_pending(&mut m);
+            }
+            let s = e.stats();
+            prop_assert_eq!(e.in_flight(), 0, "the queue drains");
+            prop_assert_eq!(e.pending_ledger_bytes(), 0);
+            prop_assert_eq!(s.enqueued_bytes, s.committed_bytes + s.dropped_bytes);
+            prop_assert_eq!(m.active_watches(), 0, "no settled entry leaks its watch");
+        }
+    );
+}
+
+/// An MTM run with any admission policy and shadow mode produces a
+/// bit-identical report for any packet worker count: admission verdicts
+/// are a pure function of the deterministic machine state, never of how
+/// the interval work was scheduled.
+#[test]
+fn admission_decisions_are_worker_count_invariant() {
+    use mtm::{AdmissionKind, MtmConfig, MtmManager};
+    use tiersim::sim::{run_scenario, Workload};
+    use tiersim::tier::optane_four_tier;
+
+    let run = |kind: AdmissionKind, shadow: bool, workers: usize| {
+        let scale = 1u64 << 13;
+        let topo = optane_four_tier(scale);
+        let mut m = Machine::new(MachineConfig::new(topo.clone(), 2));
+        let plan = faultsim::FaultPlan::parse("busy=0.2,allocfail=0.1").unwrap();
+        m.install_faults(plan, faultsim::derive_seed(11, kind.label()));
+        m.set_run_workers(workers);
+        let mut cfg = MtmConfig::default();
+        cfg.admission = kind;
+        cfg.shadow = shadow;
+        let mut mgr = MtmManager::new(cfg, topo.nodes as usize);
+        let mut wl: Box<dyn Workload> =
+            mtm_workloads::build_paper_workload("GUPS", scale, 2).unwrap();
+        run_scenario(&mut m, &mut mgr, wl.as_mut(), 2)
+    };
+    for kind in [
+        AdmissionKind::Always,
+        AdmissionKind::PingPong,
+        AdmissionKind::RateLimit,
+        AdmissionKind::HotnessDelta,
+    ] {
+        for shadow in [false, true] {
+            let serial = run(kind, shadow, 1);
+            let packet = run(kind, shadow, 4);
+            assert_eq!(
+                format!("{serial:?}"),
+                format!("{packet:?}"),
+                "{}/shadow={shadow}: 4-worker report differs from serial",
+                kind.label()
+            );
+        }
+    }
+}
+
 /// The zipfian sampler is always in range and monotonically favours
 /// low ranks in aggregate.
 #[test]
