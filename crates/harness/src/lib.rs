@@ -17,6 +17,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod metrics;
+pub mod multitenant;
 pub mod opts;
 pub mod overall;
 pub mod resilience;

@@ -53,6 +53,32 @@ pub fn emit_telemetry(t: &obs::RunTelemetry) -> std::io::Result<PathBuf> {
     emit_telemetry_into(Path::new(TELEMETRY_DIR), t)
 }
 
+/// The file a *tenant's* run telemetry lands in under `dir`:
+/// `<tenant>_<manager>_<workload>.json`. The tenant prefix keeps two
+/// tenants running the same named workload from clobbering each other's
+/// snapshot — the single-tenant path keeps its historical two-part name.
+pub fn tenant_telemetry_path(dir: &Path, tenant: &str, manager: &str, workload: &str) -> PathBuf {
+    dir.join(format!(
+        "{}_{}_{}.json",
+        sanitize_name(tenant),
+        sanitize_name(manager),
+        sanitize_name(workload)
+    ))
+}
+
+/// Serializes one tenant's run telemetry as JSON under `dir`, creating
+/// the directory as needed. Returns the path written.
+pub fn emit_tenant_telemetry_into(
+    dir: &Path,
+    tenant: &str,
+    t: &obs::RunTelemetry,
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = tenant_telemetry_path(dir, tenant, &t.manager, &t.workload);
+    std::fs::write(&path, t.to_json())?;
+    Ok(path)
+}
+
 /// Merges the registries of several runs (counters and histograms sum,
 /// gauges keep their maxima) into one matrix-wide summary registry.
 pub fn merge_registries<'a>(runs: impl IntoIterator<Item = &'a obs::RunTelemetry>) -> obs::Registry {
@@ -176,6 +202,18 @@ mod tests {
             Some(3.0)
         );
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tenant_telemetry_files_are_disjoint_per_tenant() {
+        let dir = Path::new("results/telemetry");
+        let a = tenant_telemetry_path(dir, "t00", "MTM", "GUPS");
+        let b = tenant_telemetry_path(dir, "t01", "MTM", "GUPS");
+        assert_ne!(a, b, "same workload, different tenants, different files");
+        assert_eq!(a.file_name().unwrap().to_str().unwrap(), "t00_MTM_GUPS.json");
+        // The legacy two-part name never collides with a tenant name.
+        let legacy = telemetry_path(dir, "MTM", "GUPS");
+        assert_ne!(a, legacy);
     }
 
     #[test]

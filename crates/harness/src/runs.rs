@@ -105,7 +105,7 @@ pub fn build_manager(name: &str, opts: &Opts, topo: &Topology) -> Box<dyn Memory
 /// Builds the machine a manager runs on, before fault installation: the
 /// four-tier Optane topology by default, Memory Mode caches for `hmc`,
 /// and all-component PEBS for `hemem`.
-fn healthy_machine_for(manager: &str, opts: &Opts, topo: Topology) -> Machine {
+pub fn healthy_machine_for(manager: &str, opts: &Opts, topo: Topology) -> Machine {
     let mut cfg = MachineConfig::new(topo.clone(), opts.threads);
     cfg.interval_ns = opts.interval_ns;
     if manager == "hmc" {

@@ -1,0 +1,384 @@
+//! Global multi-tenant arbitration (the HM-Keeper direction).
+//!
+//! On a machine hosting many address spaces, tiered-memory management is
+//! a *global* problem: the fast tier, the migration bandwidth and the
+//! Eq. 1 profiling budget are machine-wide resources that some layer
+//! above the per-tenant managers must divide. An [`ArbiterPolicy`] turns
+//! per-tenant demand observations into proportional weights once per
+//! profiling interval; the exact integer split of each resource is done
+//! by [`tiersim::tenant::apportion`]/[`split_component_capacity`], so no rounding
+//! ever creates or destroys a byte.
+//!
+//! Three built-ins ship behind the `MTM_ARBITER` env:
+//!
+//! * `static-equal` — every tenant weighs the same, demand is ignored.
+//! * `footprint-proportional` — weight = mapped footprint, the
+//!   proportional-share baseline.
+//! * `hotness-weighted` — weight = an EMA of the tenant's access rate,
+//!   so actively hot tenants win fast-tier capacity from idle ones.
+//!
+//! All built-ins are pure functions of the demand sequence (the
+//! hotness EMA keeps per-tenant state in a `BTreeMap`, per lint D2), so
+//! arbitration is deterministic for any worker count.
+
+use std::collections::BTreeMap;
+
+use tiersim::tenant::{apportion, Share, TenantId};
+
+/// One tenant's demand observation, as sampled at an interval boundary.
+#[derive(Clone, Copy, Debug)]
+pub struct TenantDemand {
+    /// The tenant this row describes.
+    pub tenant: TenantId,
+    /// Mapped footprint in bytes.
+    pub footprint: u64,
+    /// Bytes currently resident in fast-tier (DRAM) components.
+    pub fast_resident: u64,
+    /// Application accesses issued since the previous arbitration.
+    pub accesses: u64,
+}
+
+/// A global arbitration policy: observes every tenant's demand and
+/// returns one non-negative weight per tenant (same order as the input).
+/// Weights are relative — the caller normalizes them into resource
+/// splits — and degenerate outputs (all zero) fall back to equal shares.
+pub trait ArbiterPolicy {
+    /// Stable selector name (the `MTM_ARBITER` value).
+    fn name(&self) -> &'static str;
+
+    /// Produces the per-tenant weights for the coming interval.
+    fn weights(&mut self, demands: &[TenantDemand]) -> Vec<f64>;
+}
+
+/// Equal shares regardless of demand — the static baseline.
+pub struct StaticEqual;
+
+impl ArbiterPolicy for StaticEqual {
+    fn name(&self) -> &'static str {
+        "static-equal"
+    }
+
+    fn weights(&mut self, demands: &[TenantDemand]) -> Vec<f64> {
+        vec![1.0; demands.len()]
+    }
+}
+
+/// Weight proportional to mapped footprint: a tenant twice as large gets
+/// twice the fast tier, bandwidth and profiling budget.
+pub struct FootprintProportional;
+
+impl ArbiterPolicy for FootprintProportional {
+    fn name(&self) -> &'static str {
+        "footprint-proportional"
+    }
+
+    fn weights(&mut self, demands: &[TenantDemand]) -> Vec<f64> {
+        demands.iter().map(|d| d.footprint as f64).collect()
+    }
+}
+
+/// EMA weight of the hotness-weighted arbiter (mirrors the paper's Eq. 2
+/// region EMA weight).
+const HOTNESS_ALPHA: f64 = 0.5;
+
+/// Weight proportional to an exponential moving average of each tenant's
+/// access rate: tenants in a hot phase win resources from idle ones, and
+/// the EMA damps interval-to-interval churn. Per-tenant state lives in a
+/// `BTreeMap` so iteration order — and therefore any float accumulation —
+/// is deterministic (lint D2).
+#[derive(Default)]
+pub struct HotnessWeighted {
+    ema: BTreeMap<TenantId, f64>,
+}
+
+impl ArbiterPolicy for HotnessWeighted {
+    fn name(&self) -> &'static str {
+        "hotness-weighted"
+    }
+
+    fn weights(&mut self, demands: &[TenantDemand]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(demands.len());
+        for d in demands {
+            let prev = self.ema.get(&d.tenant).copied().unwrap_or(0.0);
+            let ema = HOTNESS_ALPHA * d.accesses as f64 + (1.0 - HOTNESS_ALPHA) * prev;
+            self.ema.insert(d.tenant, ema);
+            // An idle tenant keeps a floor of one access so it can ramp
+            // back up (a zero weight would starve its profiler forever).
+            out.push(ema.max(1.0));
+        }
+        // Forget departed tenants so the map cannot grow without bound
+        // under arrive/depart churn.
+        let live: std::collections::BTreeSet<TenantId> =
+            demands.iter().map(|d| d.tenant).collect();
+        self.ema.retain(|t, _| live.contains(t));
+        out
+    }
+}
+
+/// Which built-in arbiter to construct (the `MTM_ARBITER` selector).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ArbiterKind {
+    /// [`StaticEqual`].
+    #[default]
+    StaticEqual,
+    /// [`FootprintProportional`].
+    FootprintProportional,
+    /// [`HotnessWeighted`].
+    HotnessWeighted,
+}
+
+impl ArbiterKind {
+    /// Parses an `MTM_ARBITER` value.
+    pub fn parse(s: &str) -> Option<ArbiterKind> {
+        match s {
+            "static-equal" => Some(ArbiterKind::StaticEqual),
+            "footprint-proportional" => Some(ArbiterKind::FootprintProportional),
+            "hotness-weighted" => Some(ArbiterKind::HotnessWeighted),
+            _ => None,
+        }
+    }
+
+    /// The selector string this kind parses from.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ArbiterKind::StaticEqual => "static-equal",
+            ArbiterKind::FootprintProportional => "footprint-proportional",
+            ArbiterKind::HotnessWeighted => "hotness-weighted",
+        }
+    }
+
+    /// Constructs the policy.
+    pub fn build(&self) -> Box<dyn ArbiterPolicy> {
+        match self {
+            ArbiterKind::StaticEqual => Box::new(StaticEqual),
+            ArbiterKind::FootprintProportional => Box::new(FootprintProportional),
+            ArbiterKind::HotnessWeighted => Box::new(HotnessWeighted::default()),
+        }
+    }
+}
+
+/// Turns arbitration weights into per-tenant [`Share`]s: the promotion
+/// budget pool is apportioned exactly, and each tenant's profiling
+/// fraction is `w / Σw`. Fast-tier quotas are split per *component* with
+/// [`split_component_capacity`] (they need residency floors), so they are not part
+/// of the `Share` — see the harness's arbitration step.
+///
+/// With a single tenant the share is exact: the whole pool and a
+/// profile fraction of `w / w == 1.0`, keeping the solo pipeline
+/// bit-identical.
+pub fn shares(weights: &[f64], promote_pool: u64) -> Vec<Share> {
+    let promote = apportion(promote_pool, weights);
+    let cleaned: Vec<f64> =
+        weights.iter().map(|&w| if w.is_finite() && w > 0.0 { w } else { 0.0 }).collect();
+    let sum: f64 = cleaned.iter().sum();
+    (0..weights.len())
+        .map(|i| Share {
+            // Filled in by the per-component capacity split.
+            fast_bytes: 0,
+            promote_bytes: promote[i],
+            profile_share: if sum > 0.0 {
+                cleaned[i] / sum
+            } else {
+                1.0 / weights.len().max(1) as f64
+            },
+        })
+        .collect()
+}
+
+/// Re-exported for arbitration call sites that split capacity directly.
+pub use tiersim::tenant::split_capacity as split_component_capacity;
+
+/// Headroom added to every tenant's footprint floor: covers 2 MB block
+/// rounding across components plus transient shadow copies, so the floor
+/// guarantees an allocatable block somewhere in the placement order.
+const FLOOR_HEADROOM: u64 = 8 * tiersim::PAGE_SIZE_2M;
+
+/// Floors each tenant's arbitration share at its declared footprint's
+/// fraction of machine capacity (plus [`FLOOR_HEADROOM`]), so a cold or
+/// cool tenant under a skewed arbiter can still page its working set in
+/// — a starved tenant would otherwise hit a fatal placement failure on
+/// its first demand fault past the quota.
+///
+/// When every raw share already clears its floor the input is returned
+/// *untouched* (same `Vec` contents, no re-normalization), so a solo
+/// tenant's weight — and everything downstream of it — stays bit-exact.
+/// Otherwise under-floor tenants are pinned at their floor and the
+/// remaining capacity fraction is re-split among the rest by weight
+/// (waterfilling). If the floors themselves overcommit the machine they
+/// are first scaled back proportionally: an allocation failure is then a
+/// genuine capacity fault, not an arbitration artifact.
+pub fn floor_shares(weights: &[f64], demands: &[TenantDemand], total_capacity: u64) -> Vec<f64> {
+    let n = weights.len();
+    assert_eq!(n, demands.len(), "one weight per demand row");
+    if n == 0 || total_capacity == 0 {
+        return weights.to_vec();
+    }
+    let clean: Vec<f64> =
+        weights.iter().map(|&w| if w.is_finite() && w > 0.0 { w } else { 0.0 }).collect();
+    let sum: f64 = clean.iter().sum();
+    if sum <= 0.0 {
+        return weights.to_vec();
+    }
+    let mut mins: Vec<f64> = demands
+        .iter()
+        .map(|d| (d.footprint.saturating_add(FLOOR_HEADROOM)) as f64 / total_capacity as f64)
+        .collect();
+    let mins_sum: f64 = mins.iter().sum();
+    if mins_sum > 1.0 {
+        for m in &mut mins {
+            *m /= mins_sum;
+        }
+    }
+    if clean.iter().zip(&mins).all(|(&w, &m)| w / sum >= m) {
+        return weights.to_vec();
+    }
+    let mut share = vec![0.0; n];
+    let mut pinned = vec![false; n];
+    loop {
+        let pinned_total: f64 = (0..n).filter(|&i| pinned[i]).map(|i| mins[i]).sum();
+        let free_weight: f64 = (0..n).filter(|&i| !pinned[i]).map(|i| clean[i]).sum();
+        let mut changed = false;
+        for i in 0..n {
+            share[i] = if pinned[i] {
+                mins[i]
+            } else if free_weight > 0.0 {
+                clean[i] / free_weight * (1.0 - pinned_total)
+            } else {
+                0.0
+            };
+            if !pinned[i] && share[i] < mins[i] {
+                pinned[i] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            return share;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demand(tenant: TenantId, footprint: u64, accesses: u64) -> TenantDemand {
+        TenantDemand { tenant, footprint, fast_resident: 0, accesses }
+    }
+
+    #[test]
+    fn static_equal_ignores_demand() {
+        let mut p = StaticEqual;
+        let w = p.weights(&[demand(0, 1 << 30, 999), demand(1, 1 << 10, 0)]);
+        assert_eq!(w, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn footprint_proportional_tracks_size() {
+        let mut p = FootprintProportional;
+        let w = p.weights(&[demand(0, 100, 0), demand(1, 300, 0)]);
+        assert_eq!(w, vec![100.0, 300.0]);
+    }
+
+    #[test]
+    fn hotness_ema_converges_and_floors_idle_tenants() {
+        let mut p = HotnessWeighted::default();
+        // Repeated identical demand converges the EMA toward the rate.
+        let mut last = 0.0;
+        for _ in 0..10 {
+            last = p.weights(&[demand(0, 0, 1000), demand(1, 0, 0)])[0];
+        }
+        assert!((last - 1000.0).abs() < 2.0, "EMA near 1000, got {last}");
+        // The idle tenant keeps the ramp-up floor, not zero.
+        let w = p.weights(&[demand(0, 0, 1000), demand(1, 0, 0)]);
+        assert_eq!(w[1], 1.0);
+    }
+
+    #[test]
+    fn hotness_state_is_dropped_for_departed_tenants() {
+        let mut p = HotnessWeighted::default();
+        p.weights(&[demand(0, 0, 100), demand(7, 0, 100)]);
+        p.weights(&[demand(0, 0, 100)]);
+        assert_eq!(p.ema.len(), 1, "departed tenant 7 forgotten");
+        // Tenant 7 re-arriving starts from a cold EMA, exactly as a
+        // brand-new tenant would.
+        let w = p.weights(&[demand(0, 0, 0), demand(7, 0, 0)]);
+        assert!(w[0] > w[1], "returning tenant restarts cold: {w:?}");
+    }
+
+    #[test]
+    fn kind_roundtrips_through_parse_and_label() {
+        for kind in [
+            ArbiterKind::StaticEqual,
+            ArbiterKind::FootprintProportional,
+            ArbiterKind::HotnessWeighted,
+        ] {
+            assert_eq!(ArbiterKind::parse(kind.label()), Some(kind));
+            assert_eq!(kind.build().name(), kind.label());
+        }
+        assert_eq!(ArbiterKind::parse("nope"), None);
+        assert_eq!(ArbiterKind::default(), ArbiterKind::StaticEqual);
+    }
+
+    #[test]
+    fn shares_are_exact_and_solo_is_identity() {
+        let s = shares(&[1.0, 1.0, 1.0], 10 << 20);
+        assert_eq!(s.iter().map(|x| x.promote_bytes).sum::<u64>(), 10 << 20);
+        let total: f64 = s.iter().map(|x| x.profile_share).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+
+        // One tenant: the whole pool, profile share exactly 1.0 — the
+        // bit-exactness hook the N=1 differential test relies on.
+        let solo = shares(&[0.37], 16 << 20);
+        assert_eq!(solo[0].promote_bytes, 16 << 20);
+        assert_eq!(solo[0].profile_share, 1.0);
+    }
+
+    #[test]
+    fn floor_shares_leaves_clearing_weights_untouched() {
+        let total = 1 << 30;
+        let demands = [demand(0, 64 << 20, 0), demand(1, 64 << 20, 0)];
+        // Both raw shares (0.5) clear their ~0.08 floors: exact
+        // passthrough, including the solo case.
+        let w = floor_shares(&[3.0, 3.0], &demands, total);
+        assert_eq!(w, vec![3.0, 3.0]);
+        let solo = floor_shares(&[0.37], &demands[..1], total);
+        assert_eq!(solo, vec![0.37], "solo weight is bit-exact");
+        // Even a solo tenant whose footprint exceeds the machine stays
+        // untouched (its share, 1.0, is already maximal).
+        let big = floor_shares(&[2.0], &[demand(0, 4 << 30, 0)], total);
+        assert_eq!(big, vec![2.0]);
+    }
+
+    #[test]
+    fn floor_shares_rescues_starved_tenants() {
+        let total: u64 = 256 << 20;
+        // Tenant 1 needs ~25% of the machine but a 99:1 hotness skew
+        // would grant it ~1%.
+        let demands = [demand(0, 32 << 20, 0), demand(1, 48 << 20, 0)];
+        let s = floor_shares(&[99.0, 1.0], &demands, total);
+        assert!(
+            s[1] * total as f64 >= (48 << 20) as f64,
+            "floored share covers the footprint: {s:?}"
+        );
+        assert!(s[0] > s[1], "the hot tenant still wins the remainder");
+        assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-12, "shares partition the machine");
+    }
+
+    #[test]
+    fn floor_shares_scales_back_overcommitted_floors() {
+        let total: u64 = 64 << 20;
+        // Footprints sum past the machine: floors are scaled down
+        // proportionally instead of panicking, and still partition 1.0.
+        let demands = [demand(0, 48 << 20, 0), demand(1, 48 << 20, 0)];
+        let s = floor_shares(&[1.0, 1000.0], &demands, total);
+        assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(s[0] > 0.3, "overcommit still leaves a near-proportional share: {s:?}");
+    }
+
+    #[test]
+    fn shares_survive_degenerate_weights() {
+        let s = shares(&[0.0, 0.0], 4 << 20);
+        assert_eq!(s.iter().map(|x| x.promote_bytes).sum::<u64>(), 4 << 20);
+        assert_eq!(s[0].profile_share, 0.5);
+    }
+}

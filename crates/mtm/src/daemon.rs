@@ -174,6 +174,17 @@ impl MemoryManager for MtmManager {
             avg_regions: s.region_count_sum as f64 / n,
         })
     }
+
+    fn set_share(&mut self, share: tiersim::Share) {
+        // The promotion budget is the tenant's slice of the machine-wide
+        // migration bandwidth; the profile share scales the Eq. 1 budget.
+        // Fast-tier capacity is enforced through allocator quotas, not
+        // here. A solo share (the full budget, profile_share == 1.0) is
+        // bit-exact with the untouched configuration.
+        self.cfg.promote_bytes = share.promote_bytes;
+        self.cfg.profile_share = share.profile_share.clamp(0.0, 1.0);
+        self.profiler.set_profile_share(share.profile_share);
+    }
 }
 
 #[cfg(test)]

@@ -33,6 +33,7 @@
 //! ```
 
 pub mod admission;
+pub mod arbiter;
 pub mod config;
 pub mod daemon;
 pub mod histogram;
@@ -43,6 +44,7 @@ pub mod region;
 pub mod residency;
 
 pub use admission::{AdmissionKind, AdmissionPolicy, Candidate, MigrationKind, Verdict};
+pub use arbiter::{ArbiterKind, ArbiterPolicy, TenantDemand};
 pub use config::{InitialPlacement, MtmConfig};
 pub use daemon::MtmManager;
 pub use histogram::HotnessHistogram;

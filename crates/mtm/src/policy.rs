@@ -76,6 +76,7 @@ fn make_space(
     hysteresis: f64,
     demote_budget: &mut u64,
     stats: &mut PolicyStats,
+    tenant: tiersim::TenantId,
 ) -> bool {
     if effective_free(m, engine, target) >= need {
         return true;
@@ -121,6 +122,7 @@ fn make_space(
                         kind: MigrationKind::Demotion,
                         whi: victim.whi,
                         victim_whi: None,
+                        tenant,
                     },
                 );
                 if let Verdict::Reject(reason) = verdict {
@@ -250,6 +252,7 @@ pub fn promote_and_demote(
                     kind: MigrationKind::Promotion,
                     whi: cand.whi,
                     victim_whi,
+                    tenant: cfg.tenant,
                 },
             );
             if let Verdict::Reject(reason) = verdict {
@@ -269,6 +272,7 @@ pub fn promote_and_demote(
                     hysteresis,
                     &mut demote_budget,
                     &mut stats,
+                    cfg.tenant,
                 );
             if fits {
                 engine.migrate(m, mig_range, dest, node);

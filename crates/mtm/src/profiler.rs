@@ -204,8 +204,18 @@ impl AdaptiveProfiler {
         // Each counted check costs two PTE scans (priming clear + read).
         let eff_scan = 2.0 * costs.one_scan_ns
             + costs.hint_fault_ns() / self.cfg.hint_fault_every.max(1) as f64;
-        let budget = m.cfg.interval_ns * self.cfg.overhead_target;
+        // Under multi-tenancy a global arbiter hands this instance a
+        // fraction of the machine-wide overhead budget; the solo default
+        // of 1.0 leaves the paper's Eq. 1 value bit-exact.
+        let budget = m.cfg.interval_ns * self.cfg.overhead_target * self.cfg.profile_share;
         ((budget / (eff_scan * self.cfg.num_scans as f64)) as u64).max(1)
+    }
+
+    /// Installs this tenant's fraction of the machine-wide profiling
+    /// budget (clamped to `[0, 1]`), effective from the next Eq. 1
+    /// evaluation.
+    pub fn set_profile_share(&mut self, share: f64) {
+        self.cfg.profile_share = share.clamp(0.0, 1.0);
     }
 
     /// Finishes the interval: aggregates counts, reforms regions, enforces

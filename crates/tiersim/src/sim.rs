@@ -66,6 +66,13 @@ pub trait MemoryManager {
     fn region_stats(&self) -> Option<RegionStats> {
         None
     }
+
+    /// Installs this tenant's resource [`Share`](crate::tenant::Share)
+    /// from a global arbiter: promotion-bandwidth slice and profiling
+    /// budget fraction. Managers that ignore arbitration (all static
+    /// baselines) keep the default no-op; fast-tier capacity is enforced
+    /// separately through allocator quotas, not through the manager.
+    fn set_share(&mut self, _share: crate::tenant::Share) {}
 }
 
 /// Region-formation statistics (Table 7).
@@ -332,6 +339,119 @@ pub fn drive_interval(
     machine.commit_interval()
 }
 
+/// An in-flight scenario that external drivers advance one interval at a
+/// time — the mechanism behind multi-tenant lock-step execution, where a
+/// global arbiter re-splits resources between each tenant's intervals.
+/// [`run_scenario`] is exactly `start` + `step_interval` × N + `finish`,
+/// so a single-stepped run is bit-identical to the one-shot path.
+pub struct ScenarioProgress {
+    window_counts: Vec<Vec<ComponentCounts>>,
+    interval_ns: Vec<f64>,
+    ops_trace: Vec<u64>,
+    breakdown_trace: Vec<crate::clock::TimeBreakdown>,
+    series: obs::IntervalSeries,
+    prev_breakdown: crate::clock::TimeBreakdown,
+    prev_migrated: u64,
+}
+
+impl ScenarioProgress {
+    /// Sets up the scenario (workload VMAs and data, manager init) and
+    /// resets measurement, leaving the run ready for its first interval.
+    pub fn start(
+        machine: &mut Machine,
+        manager: &mut dyn MemoryManager,
+        workload: &mut dyn Workload,
+    ) -> ScenarioProgress {
+        {
+            let mut env = SimEnv { machine, manager };
+            workload.setup(&mut env);
+        }
+        manager.init(machine);
+        machine.reset_measurement();
+        machine.counters_mut().reset_window();
+        ScenarioProgress {
+            window_counts: Vec::new(),
+            interval_ns: Vec::new(),
+            ops_trace: Vec::new(),
+            breakdown_trace: Vec::new(),
+            series: obs::IntervalSeries::default(),
+            prev_breakdown: machine.breakdown(),
+            prev_migrated: machine.stats().bytes_migrated,
+        }
+    }
+
+    /// Drives profiling interval `ivl` to completion: access generation,
+    /// the manager's interval hook, the workload's phase shift, and the
+    /// per-interval telemetry series.
+    pub fn step_interval(
+        &mut self,
+        machine: &mut Machine,
+        manager: &mut dyn MemoryManager,
+        workload: &mut dyn Workload,
+        ivl: u64,
+    ) {
+        let wall = drive_interval(machine, manager, workload, ivl);
+        self.interval_ns.push(wall);
+        let comps = machine.topology().num_components();
+        self.window_counts.push((0..comps as u16).map(|c| machine.counters().window(c)).collect());
+        machine.counters_mut().reset_window();
+        manager.on_interval(machine, ivl);
+        workload.end_of_interval(ivl);
+        self.ops_trace.push(workload.ops_completed());
+        self.breakdown_trace.push(machine.breakdown());
+
+        // Per-interval telemetry series: profiling overhead share,
+        // migration traffic and tier occupancy for this interval.
+        let b = machine.breakdown();
+        let total_delta = b.total_ns() - self.prev_breakdown.total_ns();
+        let prof_delta = b.profiling_ns - self.prev_breakdown.profiling_ns;
+        self.series.wall_ns.push(wall);
+        self.series
+            .overhead_pct
+            .push(if total_delta > 0.0 { 100.0 * prof_delta / total_delta } else { 0.0 });
+        let migrated = machine.stats().bytes_migrated;
+        self.series.migrated_bytes.push(migrated - self.prev_migrated);
+        self.series.occupancy.push(machine.residency());
+        self.prev_breakdown = b;
+        self.prev_migrated = migrated;
+    }
+
+    /// Number of intervals stepped so far.
+    pub fn intervals_done(&self) -> u64 {
+        self.interval_ns.len() as u64
+    }
+
+    /// Finalizes telemetry and assembles the report.
+    pub fn finish(
+        self,
+        machine: &mut Machine,
+        manager: &mut dyn MemoryManager,
+        workload: &mut dyn Workload,
+    ) -> RunReport {
+        let telemetry = finalize_telemetry(machine, manager, workload, self.series);
+        let breakdown = machine.breakdown();
+        RunReport {
+            manager: manager.name(),
+            workload: workload.name(),
+            breakdown,
+            total_ns: breakdown.total_ns(),
+            component_counts: machine.counters().all(),
+            window_counts: self.window_counts,
+            interval_ns: self.interval_ns,
+            ops_trace: self.ops_trace,
+            breakdown_trace: self.breakdown_trace,
+            residency: machine.residency(),
+            machine: machine.stats(),
+            hot_bytes_identified: manager.hot_bytes_identified(),
+            metadata_bytes: manager.metadata_bytes(),
+            region_stats: manager.region_stats(),
+            ops_completed: workload.ops_completed(),
+            footprint: workload.footprint(),
+            telemetry,
+        }
+    }
+}
+
 /// Runs `workload` under `manager` for `intervals` profiling intervals and
 /// returns the report. Setup time is excluded from measurement.
 pub fn run_scenario(
@@ -340,70 +460,11 @@ pub fn run_scenario(
     workload: &mut dyn Workload,
     intervals: u64,
 ) -> RunReport {
-    {
-        let mut env = SimEnv { machine, manager };
-        workload.setup(&mut env);
-    }
-    manager.init(machine);
-    machine.reset_measurement();
-    machine.counters_mut().reset_window();
-
-    let mut window_counts = Vec::with_capacity(intervals as usize);
-    let mut interval_ns = Vec::with_capacity(intervals as usize);
-    let mut ops_trace = Vec::with_capacity(intervals as usize);
-    let mut breakdown_trace = Vec::with_capacity(intervals as usize);
-    let mut series = obs::IntervalSeries::default();
-    let mut prev_breakdown = machine.breakdown();
-    let mut prev_migrated = machine.stats().bytes_migrated;
-
+    let mut progress = ScenarioProgress::start(machine, manager, workload);
     for ivl in 0..intervals {
-        let wall = drive_interval(machine, manager, workload, ivl);
-        interval_ns.push(wall);
-        let comps = machine.topology().num_components();
-        window_counts.push((0..comps as u16).map(|c| machine.counters().window(c)).collect());
-        machine.counters_mut().reset_window();
-        manager.on_interval(machine, ivl);
-        workload.end_of_interval(ivl);
-        ops_trace.push(workload.ops_completed());
-        breakdown_trace.push(machine.breakdown());
-
-        // Per-interval telemetry series: profiling overhead share,
-        // migration traffic and tier occupancy for this interval.
-        let b = machine.breakdown();
-        let total_delta = b.total_ns() - prev_breakdown.total_ns();
-        let prof_delta = b.profiling_ns - prev_breakdown.profiling_ns;
-        series.wall_ns.push(wall);
-        series
-            .overhead_pct
-            .push(if total_delta > 0.0 { 100.0 * prof_delta / total_delta } else { 0.0 });
-        let migrated = machine.stats().bytes_migrated;
-        series.migrated_bytes.push(migrated - prev_migrated);
-        series.occupancy.push(machine.residency());
-        prev_breakdown = b;
-        prev_migrated = migrated;
+        progress.step_interval(machine, manager, workload, ivl);
     }
-
-    let telemetry = finalize_telemetry(machine, manager, workload, series);
-    let breakdown = machine.breakdown();
-    RunReport {
-        manager: manager.name(),
-        workload: workload.name(),
-        breakdown,
-        total_ns: breakdown.total_ns(),
-        component_counts: machine.counters().all(),
-        window_counts,
-        interval_ns,
-        ops_trace,
-        breakdown_trace,
-        residency: machine.residency(),
-        machine: machine.stats(),
-        hot_bytes_identified: manager.hot_bytes_identified(),
-        metadata_bytes: manager.metadata_bytes(),
-        region_stats: manager.region_stats(),
-        ops_completed: workload.ops_completed(),
-        footprint: workload.footprint(),
-        telemetry,
-    }
+    progress.finish(machine, manager, workload)
 }
 
 /// Static metric names for per-component PEBS sample counts (the

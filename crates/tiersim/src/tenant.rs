@@ -1,0 +1,243 @@
+//! Multi-tenant resource shares and the exact capacity ledger.
+//!
+//! A tiered box serving many co-scheduled address spaces is arbitrated
+//! globally (the HM-Keeper direction): some layer above the per-tenant
+//! managers decides how much fast-tier capacity, migration bandwidth and
+//! profiling budget each tenant gets this interval. This module holds
+//! the *mechanism* half of that split — the [`Share`] a tenant receives
+//! and the deterministic integer apportionment that turns arbitrary
+//! floating-point weights into quotas that sum **exactly** to the
+//! resource being divided (no byte is ever created or lost by rounding).
+//! The *policy* half (how weights are chosen) lives in `mtm::arbiter`.
+
+use crate::addr::PAGE_SIZE_2M;
+
+/// Identifies one tenant of a shared machine. Tenant 0 is the legacy
+/// single-tenant default.
+pub type TenantId = u16;
+
+/// The per-tenant resource grant one arbitration round produces.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Share {
+    /// Fast-tier (DRAM) capacity granted, in bytes.
+    pub fast_bytes: u64,
+    /// Migration (promotion) budget per interval, in bytes — the
+    /// tenant's slice of the machine-wide copy bandwidth.
+    pub promote_bytes: u64,
+    /// Fraction of the machine-wide Eq. 1 profiling budget, in `[0, 1]`.
+    /// `1.0` is the whole budget — the single-tenant value, bit-exact
+    /// with the pre-tenant pipeline (`x * 1.0 == x` in IEEE 754).
+    pub profile_share: f64,
+}
+
+impl Share {
+    /// The share a tenant running alone holds: everything.
+    pub fn solo(fast_bytes: u64, promote_bytes: u64) -> Share {
+        Share { fast_bytes, promote_bytes, profile_share: 1.0 }
+    }
+}
+
+/// Sanitizes one weight: negative, NaN or infinite weights count as zero.
+fn clean(w: f64) -> f64 {
+    if w.is_finite() && w > 0.0 {
+        w
+    } else {
+        0.0
+    }
+}
+
+/// Splits `total` indivisible units across `weights` proportionally,
+/// returning per-index unit counts that sum to exactly `total`.
+///
+/// Largest-remainder apportionment with a deterministic tie-break
+/// (larger fractional remainder first, lower index on equal remainders),
+/// so the result is a pure function of the inputs — byte-identical on
+/// every worker count and platform. Degenerate weights (all zero,
+/// negative, NaN) fall back to an equal split.
+pub fn apportion(total: u64, weights: &[f64]) -> Vec<u64> {
+    let n = weights.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let cleaned: Vec<f64> = weights.iter().map(|&w| clean(w)).collect();
+    let sum: f64 = cleaned.iter().sum();
+    let cleaned: Vec<f64> =
+        if sum > 0.0 { cleaned } else { vec![1.0; n] };
+    let sum: f64 = cleaned.iter().sum();
+    let mut base = Vec::with_capacity(n);
+    let mut rem: Vec<(f64, usize)> = Vec::with_capacity(n);
+    let mut assigned = 0u64;
+    for (i, &w) in cleaned.iter().enumerate() {
+        let ideal = total as f64 * (w / sum);
+        let b = (ideal.floor() as u64).min(total);
+        base.push(b);
+        assigned += b;
+        rem.push((ideal - b as f64, i));
+    }
+    // Hand the leftover units to the largest remainders, lowest index
+    // first on ties. `total - assigned <= n` by construction.
+    rem.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("remainders are finite").then(a.1.cmp(&b.1)));
+    let mut leftover = total - assigned;
+    for &(_, i) in &rem {
+        if leftover == 0 {
+            break;
+        }
+        base[i] += 1;
+        leftover -= 1;
+    }
+    base
+}
+
+/// Splits one component's `capacity` bytes into per-tenant quotas in
+/// 2 MB units, clamped at per-tenant `floors` (bytes each tenant already
+/// holds on the component — a quota may deny future allocations but
+/// never strand live frames).
+///
+/// The returned quotas sum to exactly `capacity & !(2 MB - 1)`. Floors
+/// are rounded up to whole blocks; the clamp's deficit is taken from the
+/// tenants with the largest surplus above their own floor (lowest index
+/// on ties), one block at a time, which keeps the redistribution
+/// deterministic. Callers must guarantee `sum(ceil(floors)) <= capacity`
+/// — true whenever the floors are the `used()` bytes of allocators whose
+/// capacities previously summed to `capacity`.
+pub fn split_capacity(capacity: u64, weights: &[f64], floors: &[u64]) -> Vec<u64> {
+    assert_eq!(weights.len(), floors.len(), "one floor per weight");
+    let blocks = capacity / PAGE_SIZE_2M;
+    let floor_blocks: Vec<u64> =
+        floors.iter().map(|&f| f.div_ceil(PAGE_SIZE_2M)).collect();
+    let floor_sum: u64 = floor_blocks.iter().sum();
+    assert!(
+        floor_sum <= blocks,
+        "floors ({floor_sum} blocks) exceed capacity ({blocks} blocks)"
+    );
+    let mut q = apportion(blocks, weights);
+    // Raise every under-floor quota to its floor, taking the deficit
+    // from the largest surplus holders.
+    loop {
+        let mut need = 0u64;
+        for i in 0..q.len() {
+            if q[i] < floor_blocks[i] {
+                need += floor_blocks[i] - q[i];
+                q[i] = floor_blocks[i];
+            }
+        }
+        if need == 0 {
+            break;
+        }
+        while need > 0 {
+            let donor = (0..q.len())
+                .filter(|&i| q[i] > floor_blocks[i])
+                .max_by(|&a, &b| {
+                    (q[a] - floor_blocks[a]).cmp(&(q[b] - floor_blocks[b])).then(b.cmp(&a))
+                })
+                .expect("floor sum <= capacity leaves a donor");
+            let surplus = q[donor] - floor_blocks[donor];
+            let take = surplus.min(need);
+            q[donor] -= take;
+            need -= take;
+        }
+    }
+    q.into_iter().map(|b| b * PAGE_SIZE_2M).collect()
+}
+
+/// The Jain fairness index of a set of per-tenant allocations or
+/// normalized throughputs: `(Σx)² / (n · Σx²)`, in `(0, 1]`, where `1`
+/// is a perfectly even split and `1/n` is one tenant holding everything.
+/// Returns `1.0` for an empty or all-zero input (nothing to be unfair
+/// about).
+pub fn jain_index(xs: &[f64]) -> f64 {
+    let xs: Vec<f64> = xs.iter().map(|&x| clean(x)).collect();
+    let sum: f64 = xs.iter().sum();
+    let sq: f64 = xs.iter().map(|&x| x * x).sum();
+    if sum <= 0.0 || sq <= 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (xs.len() as f64 * sq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apportion_is_exact_for_any_weights() {
+        for (total, weights) in [
+            (100u64, vec![1.0, 1.0, 1.0]),
+            (7, vec![0.3, 0.3, 0.4]),
+            (5, vec![1e-9, 1.0, 1e9]),
+            (13, vec![f64::NAN, -2.0, 1.0, 0.0]),
+            (0, vec![1.0, 2.0]),
+        ] {
+            let q = apportion(total, &weights);
+            assert_eq!(q.iter().sum::<u64>(), total, "{weights:?}");
+        }
+    }
+
+    #[test]
+    fn apportion_equal_weights_splits_evenly() {
+        assert_eq!(apportion(9, &[1.0, 1.0, 1.0]), vec![3, 3, 3]);
+        // Remainder goes to the lowest indexes on equal remainders.
+        assert_eq!(apportion(10, &[1.0, 1.0, 1.0]), vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn apportion_degenerate_weights_fall_back_to_equal() {
+        assert_eq!(apportion(6, &[0.0, 0.0, 0.0]), vec![2, 2, 2]);
+        assert_eq!(apportion(6, &[f64::NAN, -1.0, f64::INFINITY]), vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn single_tenant_takes_everything() {
+        assert_eq!(apportion(123, &[0.7]), vec![123]);
+        let cap = 64 * PAGE_SIZE_2M;
+        assert_eq!(split_capacity(cap, &[0.3], &[5 * PAGE_SIZE_2M]), vec![cap]);
+    }
+
+    #[test]
+    fn split_capacity_sums_exactly_and_respects_floors() {
+        let cap = 64 * PAGE_SIZE_2M;
+        let floors = [10 * PAGE_SIZE_2M, 0, 40 * PAGE_SIZE_2M];
+        let q = split_capacity(cap, &[1.0, 1.0, 1.0], &floors);
+        assert_eq!(q.iter().sum::<u64>(), cap);
+        for (i, &quota) in q.iter().enumerate() {
+            assert!(quota >= floors[i], "tenant {i}: quota {quota} < floor {}", floors[i]);
+            assert_eq!(quota % PAGE_SIZE_2M, 0, "block-aligned");
+        }
+        // Tenant 2's floor (40 of 64 blocks) forces the others below
+        // their weight-fair 1/3 share.
+        assert_eq!(q[2], 40 * PAGE_SIZE_2M);
+    }
+
+    #[test]
+    fn split_capacity_rounds_unaligned_floors_up() {
+        let cap = 8 * PAGE_SIZE_2M;
+        let q = split_capacity(cap, &[1.0, 1.0], &[PAGE_SIZE_2M + 4096, 0]);
+        assert_eq!(q.iter().sum::<u64>(), cap);
+        assert!(q[0] >= 2 * PAGE_SIZE_2M, "floor rounded up to whole blocks");
+    }
+
+    #[test]
+    #[should_panic(expected = "floors")]
+    fn split_capacity_rejects_overcommitted_floors() {
+        let cap = 4 * PAGE_SIZE_2M;
+        split_capacity(cap, &[1.0, 1.0], &[3 * PAGE_SIZE_2M, 2 * PAGE_SIZE_2M]);
+    }
+
+    #[test]
+    fn jain_index_bounds() {
+        assert_eq!(jain_index(&[1.0, 1.0, 1.0, 1.0]), 1.0);
+        let skew = jain_index(&[1.0, 0.0, 0.0, 0.0]);
+        assert!((skew - 0.25).abs() < 1e-12, "one-holds-all is 1/n, got {skew}");
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+        let mid = jain_index(&[2.0, 1.0]);
+        assert!(mid > 0.5 && mid < 1.0, "{mid}");
+    }
+
+    #[test]
+    fn share_solo_holds_the_whole_profile_budget() {
+        let s = Share::solo(1 << 30, 16 << 20);
+        assert_eq!(s.profile_share, 1.0);
+        assert_eq!(s.fast_bytes, 1 << 30);
+    }
+}

@@ -34,7 +34,7 @@ fi
 # override, an n/a experiment row, a failed result write — fails verify.
 echo "==> quick harness smoke (MTM_QUICK=1 MTM_JOBS=4)"
 smoke_err=$(mktemp)
-trap 'rm -f "$smoke_err" "$smoke_err.all" "$smoke_err.adm"' EXIT
+trap 'rm -f "$smoke_err" "$smoke_err.all" "$smoke_err.adm" "$smoke_err.mt1" "$smoke_err.mt4"' EXIT
 if ! MTM_QUICK=1 MTM_JOBS=4 cargo run --release -q -p mtm-harness --bin all \
         >/dev/null 2>"$smoke_err"; then
     cat "$smoke_err" >&2
@@ -175,6 +175,55 @@ if grep -E '^warning:' "$smoke_err"; then
 fi
 if ! cmp -s "$smoke_err.adm" results/admission.txt; then
     echo "verify: FAIL (MTM_CHECK=1 perturbed results/admission.txt)"
+    exit 1
+fi
+
+# Multi-tenant smoke: the global-arbitration sweep (bin/multitenant)
+# restricted to 2 tenants. The table must be byte-identical between
+# MTM_JOBS=1 and MTM_JOBS=4 (cells and solo references are seeded from
+# tenant/workload labels, never execution order), and an MTM_CHECK=1 pass
+# arms the shadow-state sanitizer plus the per-tenant quota-partition
+# census at every interval boundary without changing a byte. With
+# MTM_TENANTS set the bin does not touch the committed
+# results/multitenant.txt, so stdout is compared directly. The warning:
+# gate applies to all three passes.
+echo "==> multitenant smoke (MTM_QUICK=1 MTM_TENANTS=2, MTM_JOBS=1 vs 4, then MTM_CHECK=1)"
+if ! MTM_QUICK=1 MTM_TENANTS=2 MTM_JOBS=1 cargo run --release -q -p mtm-harness --bin multitenant \
+        >"$smoke_err.mt1" 2>"$smoke_err"; then
+    cat "$smoke_err" >&2
+    echo "verify: FAIL (multitenant smoke run failed)"
+    exit 1
+fi
+if grep -E '^warning:' "$smoke_err"; then
+    echo "verify: FAIL (warning lines on multitenant stderr, see above)"
+    exit 1
+fi
+if ! MTM_QUICK=1 MTM_TENANTS=2 MTM_JOBS=4 cargo run --release -q -p mtm-harness --bin multitenant \
+        >"$smoke_err.mt4" 2>"$smoke_err"; then
+    cat "$smoke_err" >&2
+    echo "verify: FAIL (multitenant MTM_JOBS=4 smoke run failed)"
+    exit 1
+fi
+if grep -E '^warning:' "$smoke_err"; then
+    echo "verify: FAIL (warning lines on multitenant MTM_JOBS=4 stderr, see above)"
+    exit 1
+fi
+if ! cmp -s "$smoke_err.mt1" "$smoke_err.mt4"; then
+    echo "verify: FAIL (multitenant table differs between MTM_JOBS=1 and 4)"
+    exit 1
+fi
+if ! MTM_CHECK=1 MTM_QUICK=1 MTM_TENANTS=2 MTM_JOBS=4 cargo run --release -q -p mtm-harness --bin multitenant \
+        >"$smoke_err.mt4" 2>"$smoke_err"; then
+    cat "$smoke_err" >&2
+    echo "verify: FAIL (multitenant MTM_CHECK smoke run failed)"
+    exit 1
+fi
+if grep -E '^warning:' "$smoke_err"; then
+    echo "verify: FAIL (warning lines on multitenant MTM_CHECK stderr, see above)"
+    exit 1
+fi
+if ! cmp -s "$smoke_err.mt1" "$smoke_err.mt4"; then
+    echo "verify: FAIL (MTM_CHECK=1 perturbed the multitenant table)"
     exit 1
 fi
 
