@@ -23,6 +23,7 @@ pub mod overall;
 pub mod resilience;
 pub mod runpool;
 pub mod runs;
+pub mod scenarios;
 pub mod tablefmt;
 pub mod tables;
 

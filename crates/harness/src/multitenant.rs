@@ -49,13 +49,12 @@ pub const MT_LEVELS: [&str; 2] = ["healthy", "heavy"];
 /// through it.
 pub const MT_MANAGER: &str = "MTM";
 
-/// The workloads tenants round-robin over: the Table 2 set minus
-/// VoltDB, whose 2-warehouse floor (`(5_000 / scale).max(2)`) stops
-/// shrinking with scale — a ~142 MB footprint at *any* sweep scale can
-/// never fit a fractional quota of the scaled machine. The other five
-/// keep their footprint proportional to `1/scale`, so an `n`-tenant
-/// cell's aggregate footprint matches a solo run's.
-pub const MT_WORKLOADS: [&str; 5] = ["GUPS", "Cassandra", "BFS", "SSSP", "Spark"];
+/// The workloads tenants round-robin over: the full Table 2 set. Every
+/// entry keeps its footprint proportional to `1/scale` — VoltDB pins at
+/// its 2-warehouse floor past `scale > 2500` but thins its per-warehouse
+/// table densities to compensate (`TpccConfig::paper`) — so an
+/// `n`-tenant cell's aggregate footprint matches a solo run's.
+pub const MT_WORKLOADS: [&str; 6] = ["GUPS", "VoltDB", "Cassandra", "BFS", "SSSP", "Spark"];
 
 /// Base seed tenant workload salts are derived from (per tenant *name*,
 /// so a tenant's access stream is stable across cell shapes).
@@ -143,7 +142,11 @@ fn arbitrate(
         .enumerate()
         .map(|(i, r)| TenantDemand {
             tenant: i as TenantId,
-            footprint: r.workload.footprint(),
+            // Before setup the VMAs are empty and `footprint()` is zero;
+            // the declared footprint keeps the *initial* grant
+            // demand-aware (after setup the two agree, so `max` is the
+            // identity for every later round).
+            footprint: r.workload.footprint().max(r.workload.declared_footprint()),
             fast_resident: dram.iter().map(|&c| r.machine.allocator(c).used()).sum(),
             accesses: r.accesses_delta(),
         })
@@ -284,8 +287,9 @@ pub fn run_cell(
 }
 
 /// Per-interval virtual nanoseconds per completed operation, the series
-/// the p99 slowdown is computed over.
-fn interval_ns_per_op(r: &RunReport) -> Vec<f64> {
+/// the p99 slowdown is computed over (also the scenario sweep's
+/// transient-latency series).
+pub(crate) fn interval_ns_per_op(r: &RunReport) -> Vec<f64> {
     let mut out = Vec::with_capacity(r.interval_ns.len());
     let mut prev = 0u64;
     for (i, &wall) in r.interval_ns.iter().enumerate() {
@@ -298,7 +302,7 @@ fn interval_ns_per_op(r: &RunReport) -> Vec<f64> {
 }
 
 /// Nearest-rank p99 of the finite entries; infinity when none are.
-fn p99(mut xs: Vec<f64>) -> f64 {
+pub(crate) fn p99(mut xs: Vec<f64>) -> f64 {
     xs.retain(|x| x.is_finite());
     if xs.is_empty() {
         return f64::INFINITY;
@@ -539,9 +543,10 @@ mod tests {
         assert_eq!(specs[0].name, "t00");
         assert_eq!(specs[0].salt, 0, "tenant 0 replays the legacy stream");
         assert_eq!(specs[0].workload, "GUPS");
-        assert_eq!(specs[5].workload, "GUPS", "round-robin wraps after five");
+        assert_eq!(specs[1].workload, "VoltDB", "the full Table 2 set rotates");
+        assert_eq!(specs[6].workload, "GUPS", "round-robin wraps after six");
         // Same workload name, distinct streams.
-        assert_ne!(specs[5].salt, specs[0].salt);
+        assert_ne!(specs[6].salt, specs[0].salt);
         let again = tenant_specs(8);
         for (a, b) in specs.iter().zip(&again) {
             assert_eq!(a.salt, b.salt, "roster is a pure function of the index");

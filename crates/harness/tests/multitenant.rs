@@ -160,12 +160,12 @@ fn checked_cell_matches_unchecked_and_passes_census() {
 
 #[test]
 fn same_named_workloads_draw_distinct_streams() {
-    // t00 and t05 both run GUPS (round-robin wraps after five); their
+    // t00 and t06 both run GUPS (round-robin wraps after six); their
     // workload salts and fault-stream labels must still differ, so the
     // two runs must not mirror each other.
     let opts = tiny(3);
-    let roster = tenant_specs(6);
-    let specs = vec![roster[0].clone(), roster[5].clone()];
+    let roster = tenant_specs(7);
+    let specs = vec![roster[0].clone(), roster[6].clone()];
     assert_eq!(specs[0].workload, specs[1].workload);
     let reports = run_cell(
         "MTM",

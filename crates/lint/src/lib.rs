@@ -365,8 +365,14 @@ fn annotation_reason<'a>(raw_lines: &'a [&'a str], idx: usize, slug: &str) -> Op
 }
 
 /// Crates whose output feeds reports or policy decisions (D2 scope).
-const ORDERED_CRATES: &[&str] =
-    &["crates/mtm/", "crates/baselines/", "crates/harness/", "crates/tiersim/", "crates/obs/"];
+const ORDERED_CRATES: &[&str] = &[
+    "crates/mtm/",
+    "crates/baselines/",
+    "crates/harness/",
+    "crates/tiersim/",
+    "crates/obs/",
+    "crates/scenario/",
+];
 
 /// Entropy-source identifiers rejected everywhere (D3).
 const ENTROPY_IDENTS: &[&str] =

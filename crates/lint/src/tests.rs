@@ -88,6 +88,7 @@ fn d2_catches_unordered_maps_in_decision_crates_only() {
         "crates/harness/src/runs.rs",
         "crates/tiersim/src/machine.rs",
         "crates/obs/src/metrics.rs",
+        "crates/scenario/src/trace.rs",
     ] {
         assert_eq!(rules_of(&scan_source(path, src)), vec![Rule::UnorderedMap], "{path}");
     }
@@ -305,6 +306,23 @@ fn integration_test_paths_are_wholly_exempt() {
     assert!(scan_source("tests/hermetic.rs", src).is_empty());
     assert!(scan_source("crates/tiersim/tests/sanitizer.rs", src).is_empty());
     assert!(scan_source("crates/bench/benches/micro.rs", src).is_empty());
+}
+
+#[test]
+fn h1_manifest_glob_covers_the_scenario_crate() {
+    // The member glob discovers new crates from the filesystem; pin the
+    // newest one so a future restructuring can't silently drop it (and
+    // its path-only dependency policy) from the H1 scan.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/lint sits two levels under the workspace root")
+        .to_path_buf();
+    let manifests = hermetic::workspace_manifests(&root).expect("manifest enumeration");
+    assert!(
+        manifests.iter().any(|m| m.ends_with("crates/scenario/Cargo.toml")),
+        "crates/scenario/Cargo.toml missing from the H1 scan"
+    );
 }
 
 #[test]

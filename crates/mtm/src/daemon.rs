@@ -13,7 +13,7 @@ use tiersim::machine::Machine;
 use tiersim::sim::{MemoryManager, RegionStats};
 use tiersim::tier::ComponentId;
 
-use crate::admission::AdmissionPolicy;
+use crate::admission::{AdmissionKind, AdmissionPolicy};
 use crate::config::{InitialPlacement, MtmConfig};
 use crate::migration::{MigrationEngine, MigrationStats};
 use crate::policy::{promote_and_demote, slow_first_order, PolicyStats};
@@ -185,6 +185,52 @@ impl MemoryManager for MtmManager {
         self.cfg.profile_share = share.profile_share.clamp(0.0, 1.0);
         self.profiler.set_profile_share(share.profile_share);
     }
+
+    fn save_state(&self) -> Option<Vec<u8>> {
+        // Stateful admission policies (ping-pong filter, rate limiter)
+        // hold private history that is not serialized; a manager using
+        // one is not checkpointable.
+        match self.cfg.admission {
+            AdmissionKind::Always | AdmissionKind::HotnessDelta => {}
+            AdmissionKind::PingPong | AdmissionKind::RateLimit => return None,
+        }
+        let mut w = obs::wire::Writer::new();
+        w.str(&self.admission.name());
+        // The two config fields mutated at runtime by tenant arbitration
+        // (`set_share`); the rest of the config is supplied at rebuild.
+        w.u64(self.cfg.promote_bytes);
+        w.f64(self.cfg.profile_share);
+        self.profiler.save(&mut w);
+        self.engine.save(&mut w);
+        let t = &self.policy_totals;
+        for v in [t.promoted, t.promoted_bytes, t.demoted, t.demoted_bytes] {
+            w.varint(v);
+        }
+        Some(w.into_bytes())
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut r = obs::wire::Reader::new(bytes);
+        let admission = r.str()?;
+        if admission != self.admission.name() {
+            return Err(format!(
+                "checkpoint admission policy {:?} does not match this manager's {:?}",
+                admission,
+                self.admission.name()
+            ));
+        }
+        self.cfg.promote_bytes = r.u64()?;
+        self.cfg.profile_share = r.f64()?;
+        self.profiler.load(&mut r)?;
+        self.engine.load(&mut r)?;
+        self.policy_totals = PolicyStats {
+            promoted: r.varint()?,
+            promoted_bytes: r.varint()?,
+            demoted: r.varint()?,
+            demoted_bytes: r.varint()?,
+        };
+        r.finish()
+    }
 }
 
 #[cfg(test)]
@@ -192,7 +238,7 @@ mod tests {
     use super::*;
     use tiersim::addr::{VaRange, PAGE_SIZE_2M};
     use tiersim::machine::MachineConfig;
-    use tiersim::sim::{run_scenario, MemEnv, Workload};
+    use tiersim::sim::{drive_interval, run_scenario, MemEnv, ScenarioProgress, Workload};
     use tiersim::tier::tiny_two_tier;
 
     /// A workload hammering the first quarter of its footprint.
@@ -496,6 +542,63 @@ mod tests {
         assert_eq!(rs.intervals, 5);
         assert!(rs.avg_regions >= 1.0);
         assert!(mgr.metadata_bytes() > 0);
+    }
+
+    #[test]
+    fn manager_checkpoint_round_trips_and_resumes_identically() {
+        // Run a scenario mid-way, checkpoint manager + machine, restore
+        // into fresh objects, then continue both sides in lockstep: every
+        // interval and the final serialized states must agree bit-for-bit.
+        let mut m_a = machine();
+        let mut mgr_a = MtmManager::new(MtmConfig::default(), 1);
+        let mut wl_a = workload();
+        let mut prog = ScenarioProgress::start(&mut m_a, &mut mgr_a, &mut wl_a);
+        for ivl in 0..8 {
+            prog.step_interval(&mut m_a, &mut mgr_a, &mut wl_a, ivl);
+        }
+        let mgr_blob = mgr_a.save_state().expect("default MTM config is checkpointable");
+        let machine_blob = m_a.save_state().expect("machine is checkpointable");
+
+        let mut m_b = machine();
+        m_b.load_state(&machine_blob).expect("machine restores");
+        let mut mgr_b = MtmManager::new(MtmConfig::default(), 1);
+        mgr_b.load_state(&mgr_blob).expect("manager restores");
+        assert_eq!(mgr_b.save_state().unwrap(), mgr_blob, "re-save is byte-identical");
+        let mut wl_b = HotQuarter {
+            range: wl_a.range,
+            rng: tiersim::rng::SplitMix64::from_state(wl_a.rng.state()),
+            ops: wl_a.ops,
+        };
+
+        for ivl in 8..16 {
+            let wall_a = drive_interval(&mut m_a, &mut mgr_a, &mut wl_a, ivl);
+            let wall_b = drive_interval(&mut m_b, &mut mgr_b, &mut wl_b, ivl);
+            mgr_a.on_interval(&mut m_a, ivl);
+            mgr_b.on_interval(&mut m_b, ivl);
+            assert_eq!(wall_a.to_bits(), wall_b.to_bits(), "interval {ivl} wall time");
+        }
+        assert_eq!(wl_a.ops, wl_b.ops);
+        assert_eq!(mgr_a.save_state().unwrap(), mgr_b.save_state().unwrap());
+        assert_eq!(m_a.save_state().unwrap(), m_b.save_state().unwrap());
+    }
+
+    #[test]
+    fn stateful_admission_refuses_checkpoint() {
+        let mut cfg = MtmConfig::default();
+        cfg.admission = crate::admission::AdmissionKind::PingPong;
+        let mgr = MtmManager::new(cfg, 1);
+        assert!(mgr.save_state().is_none());
+    }
+
+    #[test]
+    fn load_state_rejects_admission_mismatch() {
+        let mut cfg = MtmConfig::default();
+        cfg.admission = crate::admission::AdmissionKind::HotnessDelta;
+        let donor = MtmManager::new(cfg, 1);
+        let blob = donor.save_state().unwrap();
+        let mut mgr = MtmManager::new(MtmConfig::default(), 1);
+        let err = mgr.load_state(&blob).unwrap_err();
+        assert!(err.contains("admission"), "unexpected error: {err}");
     }
 }
 

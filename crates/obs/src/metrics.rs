@@ -211,6 +211,31 @@ impl LogHistogram {
             .collect()
     }
 
+    /// Serializes the raw accumulator state (buckets verbatim, including
+    /// the `u64::MAX` empty-min sentinel) into `w`.
+    pub fn save(&self, w: &mut crate::wire::Writer) {
+        for &b in &self.buckets {
+            w.varint(b);
+        }
+        w.varint(self.count);
+        w.varint(self.sum);
+        w.u64(self.min);
+        w.u64(self.max);
+    }
+
+    /// Restores a histogram saved with [`LogHistogram::save`].
+    pub fn load(r: &mut crate::wire::Reader) -> Result<LogHistogram, String> {
+        let mut h = LogHistogram::default();
+        for b in h.buckets.iter_mut() {
+            *b = r.varint()?;
+        }
+        h.count = r.varint()?;
+        h.sum = r.varint()?;
+        h.min = r.u64()?;
+        h.max = r.u64()?;
+        Ok(h)
+    }
+
     /// Accumulates another histogram into this one.
     pub fn merge_from(&mut self, other: &LogHistogram) {
         for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
@@ -305,6 +330,48 @@ impl Registry {
     /// True if nothing has ever been recorded.
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty() && self.gauges.is_empty() && self.hists.is_empty()
+    }
+
+    /// Serializes the registry (names included) into `w`.
+    pub fn save(&self, w: &mut crate::wire::Writer) {
+        w.varint(self.counters.len() as u64);
+        for (&k, &v) in &self.counters {
+            w.str(k);
+            w.varint(v);
+        }
+        w.varint(self.gauges.len() as u64);
+        for (&k, &v) in &self.gauges {
+            w.str(k);
+            w.f64(v);
+        }
+        w.varint(self.hists.len() as u64);
+        for (&k, h) in &self.hists {
+            w.str(k);
+            h.save(w);
+        }
+    }
+
+    /// Restores a registry saved with [`Registry::save`]. Metric names are
+    /// interned back to `&'static str`; map order is content order, so the
+    /// result is equal to the saved registry regardless of load history.
+    pub fn load(r: &mut crate::wire::Reader) -> Result<Registry, String> {
+        let mut reg = Registry::new();
+        for _ in 0..r.varint()? {
+            let name = crate::wire::intern(&r.str()?);
+            let v = r.varint()?;
+            reg.counters.insert(name, v);
+        }
+        for _ in 0..r.varint()? {
+            let name = crate::wire::intern(&r.str()?);
+            let v = r.f64()?;
+            reg.gauges.insert(name, v);
+        }
+        for _ in 0..r.varint()? {
+            let name = crate::wire::intern(&r.str()?);
+            let h = LogHistogram::load(r)?;
+            reg.hists.insert(name, h);
+        }
+        Ok(reg)
     }
 }
 

@@ -84,6 +84,124 @@ impl EventKind {
         }
     }
 
+    /// Serializes this kind as a stable tag byte plus its payload.
+    pub fn save(&self, w: &mut crate::wire::Writer) {
+        match *self {
+            EventKind::RegionMerge { merged, freed_quota } => {
+                w.u8(0);
+                w.varint(merged);
+                w.varint(freed_quota);
+            }
+            EventKind::RegionSplit { split } => {
+                w.u8(1);
+                w.varint(split);
+            }
+            EventKind::TauMEscalated { tau_m, regions, budget } => {
+                w.u8(2);
+                w.f64(tau_m);
+                w.varint(regions);
+                w.varint(budget);
+            }
+            EventKind::QuotaRedistributed { freed } => {
+                w.u8(3);
+                w.varint(freed);
+            }
+            EventKind::PebsZoomSplit { splits } => {
+                w.u8(4);
+                w.varint(splits);
+            }
+            EventKind::Promotion { bytes, src, dst } => {
+                w.u8(5);
+                w.varint(bytes);
+                w.u16(src);
+                w.u16(dst);
+            }
+            EventKind::Demotion { bytes, src, dst } => {
+                w.u8(6);
+                w.varint(bytes);
+                w.u16(src);
+                w.u16(dst);
+            }
+            EventKind::AsyncClean { bytes, dst } => {
+                w.u8(7);
+                w.varint(bytes);
+                w.u16(dst);
+            }
+            EventKind::SwitchedSync { bytes, dst } => {
+                w.u8(8);
+                w.varint(bytes);
+                w.u16(dst);
+            }
+            EventKind::SyncDirect { bytes, dst } => {
+                w.u8(9);
+                w.varint(bytes);
+                w.u16(dst);
+            }
+            EventKind::MigrationDropped { reason } => {
+                w.u8(10);
+                w.str(reason);
+            }
+            EventKind::MigrationRetried { retries, backoff_ns } => {
+                w.u8(11);
+                w.varint(retries);
+                w.varint(backoff_ns);
+            }
+            EventKind::MigrationAborted { bytes, dst } => {
+                w.u8(12);
+                w.varint(bytes);
+                w.u16(dst);
+            }
+            EventKind::MigrationDeferred { bytes, dst } => {
+                w.u8(13);
+                w.varint(bytes);
+                w.u16(dst);
+            }
+            EventKind::AdmissionRejected { bytes, dst, reason } => {
+                w.u8(14);
+                w.varint(bytes);
+                w.u16(dst);
+                w.str(reason);
+            }
+            EventKind::ShadowHit { bytes, dst } => {
+                w.u8(15);
+                w.varint(bytes);
+                w.u16(dst);
+            }
+        }
+    }
+
+    /// Restores a kind saved with [`EventKind::save`]. Reason strings are
+    /// interned back to `&'static str`.
+    pub fn load(r: &mut crate::wire::Reader) -> Result<EventKind, String> {
+        Ok(match r.u8()? {
+            0 => EventKind::RegionMerge { merged: r.varint()?, freed_quota: r.varint()? },
+            1 => EventKind::RegionSplit { split: r.varint()? },
+            2 => EventKind::TauMEscalated {
+                tau_m: r.f64()?,
+                regions: r.varint()?,
+                budget: r.varint()?,
+            },
+            3 => EventKind::QuotaRedistributed { freed: r.varint()? },
+            4 => EventKind::PebsZoomSplit { splits: r.varint()? },
+            5 => EventKind::Promotion { bytes: r.varint()?, src: r.u16()?, dst: r.u16()? },
+            6 => EventKind::Demotion { bytes: r.varint()?, src: r.u16()?, dst: r.u16()? },
+            7 => EventKind::AsyncClean { bytes: r.varint()?, dst: r.u16()? },
+            8 => EventKind::SwitchedSync { bytes: r.varint()?, dst: r.u16()? },
+            9 => EventKind::SyncDirect { bytes: r.varint()?, dst: r.u16()? },
+            10 => EventKind::MigrationDropped { reason: crate::wire::intern(&r.str()?) },
+            11 => EventKind::MigrationRetried { retries: r.varint()?, backoff_ns: r.varint()? },
+            12 => EventKind::MigrationAborted { bytes: r.varint()?, dst: r.u16()? },
+            13 => EventKind::MigrationDeferred { bytes: r.varint()?, dst: r.u16()? },
+            14 => EventKind::AdmissionRejected {
+                bytes: r.varint()?,
+                dst: r.u16()?,
+                reason: crate::wire::intern(&r.str()?),
+            },
+            15 => EventKind::ShadowHit { bytes: r.varint()?, dst: r.u16()? },
+            other => return Err(format!("event: unknown kind tag {other}")),
+        })
+    }
+
     /// Appends this kind's payload fields as JSON object members
     /// (`,"k":v` ...) to `out`.
     fn write_json_fields(&self, out: &mut String) {
@@ -225,6 +343,40 @@ impl EventRing {
     /// Drains the retained events into a `Vec`, oldest first.
     pub fn take(&mut self) -> Vec<Event> {
         std::mem::take(&mut self.events).into()
+    }
+
+    /// Serializes the ring (capacity, drop count and retained events).
+    pub fn save(&self, w: &mut crate::wire::Writer) {
+        w.varint(self.cap as u64);
+        w.varint(self.dropped);
+        w.varint(self.events.len() as u64);
+        for ev in &self.events {
+            w.varint(ev.interval);
+            w.f64(ev.t_ns);
+            ev.kind.save(w);
+        }
+    }
+
+    /// Restores a ring saved with [`EventRing::save`].
+    pub fn load(r: &mut crate::wire::Reader) -> Result<EventRing, String> {
+        let cap = r.varint()? as usize;
+        if cap == 0 {
+            return Err("event ring: zero capacity".into());
+        }
+        let dropped = r.varint()?;
+        let n = r.varint()? as usize;
+        if n > cap {
+            return Err(format!("event ring: {n} events exceed capacity {cap}"));
+        }
+        let mut ring = EventRing::with_capacity(cap);
+        ring.dropped = dropped;
+        for _ in 0..n {
+            let interval = r.varint()?;
+            let t_ns = r.f64()?;
+            let kind = EventKind::load(r)?;
+            ring.events.push_back(Event { interval, t_ns, kind });
+        }
+        Ok(ring)
     }
 }
 

@@ -1,0 +1,136 @@
+//! Tenant churn schedules for the multi-tenant cell driver.
+//!
+//! A [`ChurnSchedule`] is a deterministic list of arrive / depart /
+//! resize events keyed by interval index. The harness's churn driver
+//! applies the events at interval boundaries, before global arbitration,
+//! so a tenant's first interval already runs under an arbitrated grant
+//! and a departed tenant's capacity returns to the pool immediately.
+
+/// One churn event. Tenants are addressed by their stable name.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ChurnEvent {
+    /// A tenant arrives: its machine, manager and workload are built and
+    /// set up at this boundary. `weight` scales the arbiter's grant
+    /// (1.0 = neutral).
+    Arrive { name: String, workload: String, weight: f64 },
+    /// The tenant finishes: its report is collected and its quota
+    /// returns to the pool.
+    Depart { name: String },
+    /// The tenant grows or shrinks: its arbitration weight is rescaled.
+    Resize { name: String, weight: f64 },
+}
+
+impl ChurnEvent {
+    /// The tenant the event addresses.
+    pub fn tenant(&self) -> &str {
+        match self {
+            ChurnEvent::Arrive { name, .. }
+            | ChurnEvent::Depart { name }
+            | ChurnEvent::Resize { name, .. } => name,
+        }
+    }
+}
+
+/// An interval-keyed event schedule.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ChurnSchedule {
+    events: Vec<(u64, ChurnEvent)>,
+}
+
+impl ChurnSchedule {
+    /// Builds a schedule; events are stably sorted by interval so
+    /// same-interval events apply in insertion order.
+    pub fn new(mut events: Vec<(u64, ChurnEvent)>) -> ChurnSchedule {
+        events.sort_by_key(|&(at, _)| at);
+        ChurnSchedule { events }
+    }
+
+    /// All events, ordered.
+    pub fn events(&self) -> &[(u64, ChurnEvent)] {
+        &self.events
+    }
+
+    /// The events scheduled exactly at `interval`.
+    pub fn at(&self, interval: u64) -> impl Iterator<Item = &ChurnEvent> {
+        self.events.iter().filter(move |&&(at, _)| at == interval).map(|(_, e)| e)
+    }
+
+    /// The canonical serving-churn schedule over a run of
+    /// `intervals`: two resident tenants, a third arriving at 1/4,
+    /// growing at 1/2, shrinking at 5/8, and departing at 3/4.
+    pub fn serving_default(intervals: u64) -> ChurnSchedule {
+        let q = (intervals / 4).max(1);
+        ChurnSchedule::new(vec![
+            (
+                0,
+                ChurnEvent::Arrive {
+                    name: "t00".to_string(),
+                    workload: "KVDrift".to_string(),
+                    weight: 1.0,
+                },
+            ),
+            (
+                0,
+                ChurnEvent::Arrive {
+                    name: "t01".to_string(),
+                    workload: "Diurnal".to_string(),
+                    weight: 1.0,
+                },
+            ),
+            (
+                q,
+                ChurnEvent::Arrive {
+                    name: "t02".to_string(),
+                    workload: "FlashCrowd".to_string(),
+                    weight: 0.5,
+                },
+            ),
+            (2 * q, ChurnEvent::Resize { name: "t02".to_string(), weight: 2.0 }),
+            (
+                2 * q + q / 2,
+                ChurnEvent::Resize { name: "t02".to_string(), weight: 0.5 },
+            ),
+            (3 * q, ChurnEvent::Depart { name: "t02".to_string() }),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_sorts_stably_and_filters_by_interval() {
+        let s = ChurnSchedule::new(vec![
+            (4, ChurnEvent::Depart { name: "b".into() }),
+            (2, ChurnEvent::Resize { name: "a".into(), weight: 2.0 }),
+            (4, ChurnEvent::Depart { name: "a".into() }),
+        ]);
+        assert_eq!(s.events()[0].0, 2);
+        let at4: Vec<&str> = s.at(4).map(|e| e.tenant()).collect();
+        assert_eq!(at4, vec!["b", "a"], "same-interval order is insertion order");
+        assert_eq!(s.at(3).count(), 0);
+    }
+
+    #[test]
+    fn default_schedule_is_well_formed() {
+        let s = ChurnSchedule::serving_default(40);
+        assert_eq!(s.at(0).count(), 2, "two resident tenants");
+        let arrivals =
+            s.events().iter().filter(|(_, e)| matches!(e, ChurnEvent::Arrive { .. })).count();
+        let departs =
+            s.events().iter().filter(|(_, e)| matches!(e, ChurnEvent::Depart { .. })).count();
+        assert_eq!(arrivals, 3);
+        assert_eq!(departs, 1);
+        // Every depart/resize names a previously arrived tenant.
+        let mut live: Vec<&str> = Vec::new();
+        for (_, e) in s.events() {
+            match e {
+                ChurnEvent::Arrive { name, .. } => live.push(name),
+                ChurnEvent::Depart { name } | ChurnEvent::Resize { name, .. } => {
+                    assert!(live.contains(&name.as_str()), "unknown tenant {name}");
+                }
+            }
+        }
+    }
+}

@@ -139,6 +139,53 @@ impl Clock {
     pub fn thread_ns(&self, tid: usize) -> f64 {
         self.thread_ns[tid]
     }
+
+    /// Serializes the clock's dynamic state (accumulators as exact f64
+    /// bit patterns).
+    pub fn save(&self, w: &mut obs::wire::Writer) {
+        w.varint(self.thread_ns.len() as u64);
+        for &t in &self.thread_ns {
+            w.f64(t);
+        }
+        w.varint(self.link_bytes.len() as u64);
+        for &b in &self.link_bytes {
+            w.f64(b);
+        }
+        w.f64(self.breakdown.app_ns);
+        w.f64(self.breakdown.profiling_ns);
+        w.f64(self.breakdown.migration_ns);
+        w.u64(self.intervals_committed);
+    }
+
+    /// Restores state saved with [`Clock::save`] into this clock. The
+    /// accumulator shapes (thread and link counts) must match.
+    pub fn load(&mut self, r: &mut obs::wire::Reader) -> Result<(), String> {
+        let threads = r.varint()? as usize;
+        if threads != self.thread_ns.len() {
+            return Err(format!(
+                "clock: thread count mismatch (saved {threads}, have {})",
+                self.thread_ns.len()
+            ));
+        }
+        for t in self.thread_ns.iter_mut() {
+            *t = r.f64()?;
+        }
+        let links = r.varint()? as usize;
+        if links != self.link_bytes.len() {
+            return Err(format!(
+                "clock: link count mismatch (saved {links}, have {})",
+                self.link_bytes.len()
+            ));
+        }
+        for b in self.link_bytes.iter_mut() {
+            *b = r.f64()?;
+        }
+        self.breakdown.app_ns = r.f64()?;
+        self.breakdown.profiling_ns = r.f64()?;
+        self.breakdown.migration_ns = r.f64()?;
+        self.intervals_committed = r.u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -186,6 +186,51 @@ impl FrameAllocator {
         }
     }
 
+    /// Serializes the allocator's dynamic state. Free-list order is kept
+    /// verbatim: future allocations pop from these lists, so a resumed run
+    /// hands out the same frames in the same order as the original.
+    pub fn save(&self, w: &mut obs::wire::Writer) {
+        w.u16(self.component);
+        w.u64(self.capacity);
+        w.u64(self.used);
+        w.u64(self.next_fresh_block);
+        w.varint(self.free_blocks.len() as u64);
+        for &b in &self.free_blocks {
+            w.u64(b);
+        }
+        w.varint(self.free_small.len() as u64);
+        for &f in &self.free_small {
+            w.u64(f);
+        }
+        match self.small_cursor {
+            Some((base, off)) => {
+                w.bool(true);
+                w.u64(base);
+                w.u64(off);
+            }
+            None => w.bool(false),
+        }
+    }
+
+    /// Restores state saved with [`FrameAllocator::save`] into this
+    /// allocator. The component id must match.
+    pub fn load(&mut self, r: &mut obs::wire::Reader) -> Result<(), String> {
+        let component = r.u16()?;
+        if component != self.component {
+            return Err(format!(
+                "frame allocator: component mismatch (saved {component}, have {})",
+                self.component
+            ));
+        }
+        self.capacity = r.u64()?;
+        self.used = r.u64()?;
+        self.next_fresh_block = r.u64()?;
+        self.free_blocks = (0..r.varint()?).map(|_| r.u64()).collect::<Result<_, _>>()?;
+        self.free_small = (0..r.varint()?).map(|_| r.u64()).collect::<Result<_, _>>()?;
+        self.small_cursor = if r.bool()? { Some((r.u64()?, r.u64()?)) } else { None };
+        Ok(())
+    }
+
     /// Frees a previously allocated frame.
     ///
     /// Freed huge frames return to the shared block list; freed base frames
@@ -266,6 +311,33 @@ impl VersionStore {
     pub fn copy(&mut self, src: PhysAddr, dst: PhysAddr) {
         let v = self.get(src);
         *self.slot(dst) = v;
+    }
+
+    /// Serializes all per-frame versions (dense vectors verbatim,
+    /// including any trailing zeros from power-of-two growth — load
+    /// reproduces the exact growth state).
+    pub fn save(&self, w: &mut obs::wire::Writer) {
+        w.varint(self.comps.len() as u64);
+        for comp in &self.comps {
+            w.varint(comp.len() as u64);
+            for &v in comp {
+                w.varint(v);
+            }
+        }
+    }
+
+    /// Restores a store saved with [`VersionStore::save`].
+    pub fn load(r: &mut obs::wire::Reader) -> Result<VersionStore, String> {
+        let mut comps = Vec::new();
+        for _ in 0..r.varint()? {
+            let n = r.varint()? as usize;
+            let mut v = Vec::with_capacity(n);
+            for _ in 0..n {
+                v.push(r.varint()?);
+            }
+            comps.push(v);
+        }
+        Ok(VersionStore { comps })
     }
 
     /// Drops bookkeeping for a freed frame.

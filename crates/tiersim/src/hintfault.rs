@@ -96,6 +96,46 @@ impl HintFaultUnit {
     pub fn forget(&mut self, page: VirtAddr) {
         self.poisoned_at.remove(&page.0);
     }
+
+    /// Serializes the unit's full state (poison map, undrained faults and
+    /// lifetime statistics).
+    pub fn save(&self, w: &mut obs::wire::Writer) {
+        w.varint(self.poisoned_at.len() as u64);
+        for (&page, &at) in &self.poisoned_at {
+            w.u64(page);
+            w.f64(at);
+        }
+        w.varint(self.faults.len() as u64);
+        for f in &self.faults {
+            w.u64(f.page.0);
+            w.u32(f.tid);
+            w.u16(f.node);
+            w.f64(f.latency_ns);
+        }
+        w.varint(self.total_faults);
+        w.varint(self.poisoned_peak as u64);
+    }
+
+    /// Restores a unit saved with [`HintFaultUnit::save`].
+    pub fn load(r: &mut obs::wire::Reader) -> Result<HintFaultUnit, String> {
+        let mut u = HintFaultUnit::new();
+        for _ in 0..r.varint()? {
+            let page = r.u64()?;
+            let at = r.f64()?;
+            u.poisoned_at.insert(page, at);
+        }
+        for _ in 0..r.varint()? {
+            u.faults.push(HintFault {
+                page: VirtAddr(r.u64()?),
+                tid: r.u32()?,
+                node: r.u16()?,
+                latency_ns: r.f64()?,
+            });
+        }
+        u.total_faults = r.varint()?;
+        u.poisoned_peak = r.varint()? as usize;
+        Ok(u)
+    }
 }
 
 #[cfg(test)]

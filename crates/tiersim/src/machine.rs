@@ -1107,6 +1107,262 @@ impl Machine {
         self.recorder.reg.counter_add(obs::names::SHADOW_INVALIDATIONS, 1);
     }
 
+    // ---------------------------------------------------------------
+    // Checkpoint support: full dynamic-state serialization. The machine
+    // is rebuilt from its configuration at restore time (`Machine::new`)
+    // and `load_state` then overwrites every piece of dynamic state, so
+    // derived structures (the charge table, PEBS programming, packed
+    // side metadata) re-derive from config + restored state instead of
+    // being stored. `run_workers` and `checking` are deliberately *not*
+    // part of the state: they are environment-derived execution knobs
+    // that must not alter simulated results, and a checkpoint written
+    // under one knob setting must restore under any other.
+
+    /// Digest of every configuration parameter that shapes simulated
+    /// state. A checkpoint written under one configuration refuses to
+    /// load under another: silently restoring dynamic state onto a
+    /// machine with different capacities or costs would diverge.
+    pub fn config_digest(&self) -> u64 {
+        let mut w = obs::wire::Writer::new();
+        let t = &self.cfg.topology;
+        w.varint(t.components.len() as u64);
+        for c in &t.components {
+            w.str(&c.name);
+            w.u8(match c.kind {
+                crate::tier::MemKind::Dram => 0,
+                crate::tier::MemKind::Pm => 1,
+            });
+            w.u16(c.home_node);
+            w.u64(c.capacity);
+        }
+        w.u16(t.nodes);
+        for row in &t.links {
+            for l in row {
+                w.f64(l.latency_ns);
+                w.f64(l.bandwidth_gbps);
+                w.f64(l.write_bandwidth_gbps);
+            }
+        }
+        w.varint(self.cfg.threads as u64);
+        for &n in &self.cfg.thread_node {
+            w.u16(n);
+        }
+        w.f64(self.cfg.mlp);
+        let c = &self.cfg.costs;
+        for v in [
+            c.one_scan_ns,
+            c.hint_fault_mult,
+            c.tlb_flush_ns,
+            c.page_fault_ns,
+            c.wp_fault_ns,
+            c.prot_fault_ns,
+            c.migrate_alloc_page_ns,
+            c.migrate_unmap_page_ns,
+            c.migrate_remap_page_ns,
+            c.migrate_pt_region_ns,
+            c.pebs_sample_ns,
+        ] {
+            w.f64(v);
+        }
+        w.u64(self.cfg.pebs.period);
+        w.varint(self.cfg.pebs.monitored.len() as u64);
+        for &m in &self.cfg.pebs.monitored {
+            w.u16(m);
+        }
+        w.varint(self.cfg.pebs.buffer_cap as u64);
+        w.f64(self.cfg.interval_ns);
+        w.bool(self.cfg.hmc_mode);
+        w.bool(self.cfg.track_heat);
+        obs::wire::fnv1a(&w.into_bytes())
+    }
+
+    /// Serializes the machine's complete dynamic state (page table,
+    /// allocators, clock, counters, samplers, watches, shadow copies,
+    /// statistics and the observability recorder) into a self-describing
+    /// blob restorable with [`Machine::load_state`].
+    ///
+    /// Returns an error in Memory Mode (hardware-cache tag state is not
+    /// checkpointable) and while a fault-injection plan is active (the
+    /// injection stream's position is owned by the plan, not the
+    /// machine).
+    pub fn save_state(&self) -> Result<Vec<u8>, String> {
+        if self.cfg.hmc_mode {
+            return Err("checkpoint: Memory Mode (hmc_mode) machines are not checkpointable \
+                        (hardware DRAM-cache tag state is opaque)"
+                .to_string());
+        }
+        if self.faults.is_active() {
+            return Err("checkpoint: machines with an active fault-injection plan are not \
+                        checkpointable (the injection stream is owned by the plan)"
+                .to_string());
+        }
+        let mut w = obs::wire::Writer::new();
+        w.u64(self.config_digest());
+        self.pt.save(&mut w);
+        w.varint(self.allocators.len() as u64);
+        for a in &self.allocators {
+            a.save(&mut w);
+        }
+        self.clock.save(&mut w);
+        self.counters.save(&mut w);
+        self.pebs.save(&mut w);
+        self.hints.save(&mut w);
+        self.versions.save(&mut w);
+        let s = &self.stats;
+        for v in [
+            s.alloc_faults,
+            s.hint_faults,
+            s.prot_faults,
+            s.wp_faults,
+            s.pte_scans,
+            s.tlb_flushes,
+            s.pages_migrated,
+            s.bytes_migrated,
+        ] {
+            w.varint(v);
+        }
+        w.varint(self.prot_faults.len() as u64);
+        for f in &self.prot_faults {
+            w.u64(f.page.0);
+            w.u32(f.tid);
+            w.bool(f.is_write);
+        }
+        w.varint(self.watches.len() as u64);
+        for watch in &self.watches {
+            w.u64(watch.range.start.0);
+            w.u64(watch.range.end.0);
+            w.bool(watch.dirty);
+            w.u64(watch.id);
+        }
+        match self.watch_bounds {
+            Some(b) => {
+                w.bool(true);
+                w.u64(b.start.0);
+                w.u64(b.end.0);
+            }
+            None => w.bool(false),
+        }
+        w.u64(self.next_watch_id);
+        w.bool(self.shadow_mode);
+        w.varint(self.shadows.len() as u64);
+        for e in &self.shadows {
+            w.u64(e.range.start.0);
+            w.u64(e.range.end.0);
+            w.u16(e.component);
+            w.u64(e.watch_id);
+            w.varint(e.pages.len() as u64);
+            for &(va, frame, size) in &e.pages {
+                w.u64(va.0);
+                w.u16(frame.component());
+                w.u64(frame.offset());
+                w.bool(size == FrameSize::Huge2M);
+            }
+        }
+        w.varint(self.heat.len() as u64);
+        for &h in &self.heat {
+            w.varint(h);
+        }
+        self.recorder.save(&mut w);
+        Ok(w.into_bytes())
+    }
+
+    /// Restores dynamic state captured by [`Machine::save_state`] into
+    /// this machine, which must be freshly built (`Machine::new`) from a
+    /// configuration whose [`Machine::config_digest`] matches the one
+    /// embedded in the blob.
+    pub fn load_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        if self.cfg.hmc_mode {
+            return Err("checkpoint: cannot restore into a Memory Mode machine".to_string());
+        }
+        let mut r = obs::wire::Reader::new(bytes);
+        let digest = r.u64()?;
+        if digest != self.config_digest() {
+            return Err(format!(
+                "checkpoint: config digest mismatch (saved {:#018x}, this machine {:#018x})",
+                digest,
+                self.config_digest()
+            ));
+        }
+        self.pt = PageTable::load(&mut r)?;
+        let n = r.varint()? as usize;
+        if n != self.allocators.len() {
+            return Err(format!(
+                "checkpoint: allocator count mismatch (saved {n}, have {})",
+                self.allocators.len()
+            ));
+        }
+        for a in self.allocators.iter_mut() {
+            a.load(&mut r)?;
+        }
+        self.clock.load(&mut r)?;
+        self.counters.load(&mut r)?;
+        self.pebs.load(&mut r)?;
+        self.hints = HintFaultUnit::load(&mut r)?;
+        self.versions = VersionStore::load(&mut r)?;
+        self.stats = MachineStats {
+            alloc_faults: r.varint()?,
+            hint_faults: r.varint()?,
+            prot_faults: r.varint()?,
+            wp_faults: r.varint()?,
+            pte_scans: r.varint()?,
+            tlb_flushes: r.varint()?,
+            pages_migrated: r.varint()?,
+            bytes_migrated: r.varint()?,
+        };
+        self.prot_faults.clear();
+        for _ in 0..r.varint()? {
+            self.prot_faults.push(ProtFault {
+                page: VirtAddr(r.u64()?),
+                tid: r.u32()?,
+                is_write: r.bool()?,
+            });
+        }
+        self.watches.clear();
+        for _ in 0..r.varint()? {
+            self.watches.push(WatchEntry {
+                range: VaRange::new(VirtAddr(r.u64()?), VirtAddr(r.u64()?)),
+                dirty: r.bool()?,
+                id: r.u64()?,
+            });
+        }
+        self.watch_bounds = if r.bool()? {
+            Some(VaRange::new(VirtAddr(r.u64()?), VirtAddr(r.u64()?)))
+        } else {
+            None
+        };
+        self.next_watch_id = r.u64()?;
+        self.shadow_mode = r.bool()?;
+        self.shadows.clear();
+        for _ in 0..r.varint()? {
+            let range = VaRange::new(VirtAddr(r.u64()?), VirtAddr(r.u64()?));
+            let component = r.u16()?;
+            let watch_id = r.u64()?;
+            let mut pages = Vec::new();
+            for _ in 0..r.varint()? {
+                let va = VirtAddr(r.u64()?);
+                let fc = r.u16()?;
+                let off = r.u64()?;
+                let size = if r.bool()? { FrameSize::Huge2M } else { FrameSize::Base4K };
+                pages.push((va, crate::addr::PhysAddr::new(fc, off), size));
+            }
+            let bytes = pages.iter().map(|&(_, _, s)| s.bytes()).sum();
+            self.shadows.push(ShadowEntry { range, component, watch_id, pages, bytes });
+        }
+        let heat_len = r.varint()? as usize;
+        self.heat.clear();
+        self.heat.reserve(heat_len);
+        for _ in 0..heat_len {
+            self.heat.push(r.varint()?);
+        }
+        self.recorder = obs::Recorder::load(&mut r)?;
+        self.faults = faultsim::FaultState::disabled();
+        r.finish()?;
+        if self.checking {
+            self.verify_consistency("checkpoint restore");
+        }
+        Ok(())
+    }
+
     /// Hardware-cache hit ratio per PM component (Memory Mode only).
     pub fn hmc_hit_ratios(&self) -> Vec<(ComponentId, f64)> {
         let mut v: Vec<(ComponentId, f64)> =
@@ -1448,6 +1704,70 @@ mod tests {
         let ratios = m.hmc_hit_ratios();
         assert_eq!(ratios.len(), 1);
         assert!((ratios[0].1 - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn save_state_round_trips_and_resumes_identically() {
+        let build = || {
+            let topo = tiny_two_tier(4 * PAGE_SIZE_2M, 16 * PAGE_SIZE_2M);
+            let mut cfg = MachineConfig::new(topo, 2);
+            cfg.pebs.period = 2;
+            cfg.track_heat = true;
+            cfg.mlp = 1.0;
+            Machine::new(cfg)
+        };
+        let mut m = build();
+        m.mmap("test", VaRange::from_len(VirtAddr(0), 8 * PAGE_SIZE_2M), false);
+        for p in 0..6u64 {
+            m.alloc_and_map(0, VirtAddr(p * 4096), &[0, 1]).unwrap();
+        }
+        m.poison_page(VirtAddr(0x2000));
+        m.protect_page(VirtAddr(0x3000));
+        let watch = m.arm_write_watch(VaRange::from_len(VirtAddr(0), PAGE_SIZE_2M));
+        for i in 0..32u64 {
+            let kind = if i % 3 == 0 { AccessKind::Write } else { AccessKind::Read };
+            m.access((i % 2) as usize, VirtAddr((i % 6) * 4096), kind);
+        }
+        m.record_event(obs::EventKind::Promotion { bytes: 4096, src: 1, dst: 0 });
+        let blob = m.save_state().unwrap();
+
+        let mut n = build();
+        n.load_state(&blob).unwrap();
+        assert_eq!(n.save_state().unwrap(), blob, "restored state re-saves byte-identically");
+        assert_eq!(n.stats().alloc_faults, m.stats().alloc_faults);
+        assert_eq!(n.elapsed_ns(), m.elapsed_ns());
+        assert_eq!(n.watch_dirty(watch), m.watch_dirty(watch));
+
+        // Both machines must now evolve in lockstep.
+        for i in 0..16u64 {
+            m.access(0, VirtAddr((i % 6) * 4096), AccessKind::Write);
+            n.access(0, VirtAddr((i % 6) * 4096), AccessKind::Write);
+        }
+        assert_eq!(m.commit_interval(), n.commit_interval());
+        assert_eq!(m.drain_pebs(), n.drain_pebs());
+        assert_eq!(m.drain_hint_faults(), n.drain_hint_faults());
+        assert_eq!(m.drain_prot_faults(), n.drain_prot_faults());
+        assert_eq!(m.save_state().unwrap(), n.save_state().unwrap());
+    }
+
+    #[test]
+    fn load_state_rejects_config_mismatch() {
+        let topo = tiny_two_tier(4 * PAGE_SIZE_2M, 16 * PAGE_SIZE_2M);
+        let m = Machine::new(MachineConfig::new(topo, 2));
+        let blob = m.save_state().unwrap();
+        let other = tiny_two_tier(2 * PAGE_SIZE_2M, 16 * PAGE_SIZE_2M);
+        let mut n = Machine::new(MachineConfig::new(other, 2));
+        let err = n.load_state(&blob).unwrap_err();
+        assert!(err.contains("digest mismatch"), "{err}");
+    }
+
+    #[test]
+    fn save_state_refuses_memory_mode() {
+        let topo = tiny_two_tier(2 * PAGE_SIZE_2M, 16 * PAGE_SIZE_2M);
+        let mut cfg = MachineConfig::new(topo, 1);
+        cfg.hmc_mode = true;
+        let m = Machine::new(cfg);
+        assert!(m.save_state().unwrap_err().contains("Memory Mode"));
     }
 
     #[test]

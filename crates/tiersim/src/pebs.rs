@@ -122,6 +122,48 @@ impl Pebs {
         self.taken
     }
 
+    /// Serializes the sampler's dynamic state (programming — period, mask,
+    /// cap — comes from config at rebuild and is not saved).
+    pub fn save(&self, w: &mut obs::wire::Writer) {
+        w.u64(self.countdown);
+        w.varint(self.buffer.len() as u64);
+        for s in &self.buffer {
+            w.u64(s.va.0);
+            w.u32(s.tid);
+            w.u16(s.component);
+            w.bool(s.is_write);
+            w.f64(s.t_ns);
+        }
+        w.varint(self.dropped);
+        w.varint(self.taken);
+        for &n in &self.by_component {
+            w.varint(n);
+        }
+    }
+
+    /// Restores state saved with [`Pebs::save`] into a freshly configured
+    /// sampler.
+    pub fn load(&mut self, r: &mut obs::wire::Reader) -> Result<(), String> {
+        self.countdown = r.u64()?;
+        let n = r.varint()? as usize;
+        self.buffer = Vec::with_capacity(n.min(self.buffer_cap));
+        for _ in 0..n {
+            self.buffer.push(PebsSample {
+                va: VirtAddr(r.u64()?),
+                tid: r.u32()?,
+                component: r.u16()?,
+                is_write: r.bool()?,
+                t_ns: r.f64()?,
+            });
+        }
+        self.dropped = r.varint()?;
+        self.taken = r.varint()?;
+        for slot in self.by_component.iter_mut() {
+            *slot = r.varint()?;
+        }
+        Ok(())
+    }
+
     /// Samples taken per component, as `(component, count)` pairs for
     /// every component that produced at least one sample, ascending.
     pub fn component_counts(&self) -> Vec<(ComponentId, u64)> {

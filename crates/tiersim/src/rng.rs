@@ -16,6 +16,18 @@ impl SplitMix64 {
         SplitMix64 { state: seed.wrapping_add(0x9e3779b97f4a7c15) }
     }
 
+    /// Current internal state, for checkpointing mid-stream.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Rebuilds a generator at an exact mid-stream state captured with
+    /// [`SplitMix64::state`] (unlike [`SplitMix64::new`], no seed scramble
+    /// is applied).
+    pub fn from_state(state: u64) -> SplitMix64 {
+        SplitMix64 { state }
+    }
+
     /// Next raw 64-bit value.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
@@ -75,6 +87,18 @@ mod tests {
     fn deterministic_stream() {
         let mut a = SplitMix64::new(1);
         let mut b = SplitMix64::new(1);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn state_round_trip_resumes_mid_stream() {
+        let mut a = SplitMix64::new(77);
+        for _ in 0..13 {
+            a.next_u64();
+        }
+        let mut b = SplitMix64::from_state(a.state());
         for _ in 0..64 {
             assert_eq!(a.next_u64(), b.next_u64());
         }

@@ -73,6 +73,22 @@ pub trait MemoryManager {
     /// baselines) keep the default no-op; fast-tier capacity is enforced
     /// separately through allocator quotas, not through the manager.
     fn set_share(&mut self, _share: crate::tenant::Share) {}
+
+    /// Serializes the manager's dynamic state for a checkpoint, or `None`
+    /// when the manager does not support checkpointing (the default).
+    /// A `Some` blob must restore bit-identically via
+    /// [`MemoryManager::load_state`] on a freshly built manager of the
+    /// same configuration.
+    fn save_state(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restores state captured by [`MemoryManager::save_state`] into this
+    /// freshly built manager. The default rejects: managers that return
+    /// `None` from `save_state` cannot be resumed.
+    fn load_state(&mut self, _bytes: &[u8]) -> Result<(), String> {
+        Err(format!("manager {:?} does not support checkpoint restore", self.name()))
+    }
 }
 
 /// Region-formation statistics (Table 7).
@@ -103,6 +119,18 @@ pub trait Workload {
     /// Total memory footprint in bytes (simulated scale).
     fn footprint(&self) -> u64;
 
+    /// Footprint the workload *will* map, known before [`Workload::setup`]
+    /// has laid any VMA out. Multi-tenant arbitration uses this for its
+    /// initial grant: setup populates eagerly, so a deeply split quota
+    /// carved blind to demand can be too small for the first touch of a
+    /// tenant whose tables span more 2 MB blocks than its equal share.
+    /// Implementations replicate the VMA rounding their setup performs,
+    /// so the declared value equals [`Workload::footprint`] once setup
+    /// ran. Defaults to `footprint()` (zero before setup).
+    fn declared_footprint(&self) -> u64 {
+        self.footprint()
+    }
+
     /// Ground-truth hot virtual ranges, when the workload knows them
     /// (GUPS does; used for profiling recall/accuracy in Fig. 1).
     fn true_hot_ranges(&self) -> Vec<VaRange> {
@@ -116,6 +144,64 @@ pub trait Workload {
     /// Application-level progress counter (operations completed).
     fn ops_completed(&self) -> u64 {
         0
+    }
+
+    /// Serializes the workload's dynamic state (RNG streams, cursors,
+    /// phase counters) for a checkpoint, or `None` when the workload does
+    /// not support checkpointing (the default).
+    fn save_state(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restores state captured by [`Workload::save_state`] into this
+    /// freshly built (and already set-up) workload. The default rejects.
+    fn load_state(&mut self, _bytes: &[u8]) -> Result<(), String> {
+        Err(format!("workload {:?} does not support checkpoint restore", self.name()))
+    }
+}
+
+/// Boxed workloads forward the whole trait, so factory-built workloads
+/// plug into generic wrappers (e.g. the scenario engine's trace
+/// recorder) without re-boxing.
+impl Workload for Box<dyn Workload> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn setup(&mut self, env: &mut dyn MemEnv) {
+        (**self).setup(env);
+    }
+
+    fn tick(&mut self, env: &mut dyn MemEnv, tid: usize) {
+        (**self).tick(env, tid);
+    }
+
+    fn footprint(&self) -> u64 {
+        (**self).footprint()
+    }
+
+    fn declared_footprint(&self) -> u64 {
+        (**self).declared_footprint()
+    }
+
+    fn true_hot_ranges(&self) -> Vec<VaRange> {
+        (**self).true_hot_ranges()
+    }
+
+    fn end_of_interval(&mut self, interval: u64) {
+        (**self).end_of_interval(interval);
+    }
+
+    fn ops_completed(&self) -> u64 {
+        (**self).ops_completed()
+    }
+
+    fn save_state(&self) -> Option<Vec<u8>> {
+        (**self).save_state()
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        (**self).load_state(bytes)
     }
 }
 
@@ -419,6 +505,87 @@ impl ScenarioProgress {
     /// Number of intervals stepped so far.
     pub fn intervals_done(&self) -> u64 {
         self.interval_ns.len() as u64
+    }
+
+    /// Serializes the accumulated per-interval traces (checkpoint
+    /// support). Together with [`Machine::save_state`] and the manager's
+    /// and workload's state blobs this captures everything a resumed run
+    /// needs to finish with a byte-identical report.
+    pub fn save(&self, w: &mut obs::wire::Writer) {
+        w.varint(self.window_counts.len() as u64);
+        for snap in &self.window_counts {
+            w.varint(snap.len() as u64);
+            for c in snap {
+                w.varint(c.loads);
+                w.varint(c.stores);
+            }
+        }
+        w.varint(self.interval_ns.len() as u64);
+        for &v in &self.interval_ns {
+            w.f64(v);
+        }
+        w.varint(self.ops_trace.len() as u64);
+        for &v in &self.ops_trace {
+            w.varint(v);
+        }
+        w.varint(self.breakdown_trace.len() as u64);
+        for b in &self.breakdown_trace {
+            w.f64(b.app_ns);
+            w.f64(b.profiling_ns);
+            w.f64(b.migration_ns);
+        }
+        self.series.save(w);
+        w.f64(self.prev_breakdown.app_ns);
+        w.f64(self.prev_breakdown.profiling_ns);
+        w.f64(self.prev_breakdown.migration_ns);
+        w.varint(self.prev_migrated);
+    }
+
+    /// Restores progress saved with [`ScenarioProgress::save`]. The
+    /// machine, manager and workload must be restored separately before
+    /// stepping resumes.
+    pub fn load(r: &mut obs::wire::Reader) -> Result<ScenarioProgress, String> {
+        let mut window_counts = Vec::new();
+        for _ in 0..r.varint()? {
+            let n = r.varint()? as usize;
+            let mut snap = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                snap.push(ComponentCounts { loads: r.varint()?, stores: r.varint()? });
+            }
+            window_counts.push(snap);
+        }
+        let mut interval_ns = Vec::new();
+        for _ in 0..r.varint()? {
+            interval_ns.push(r.f64()?);
+        }
+        let mut ops_trace = Vec::new();
+        for _ in 0..r.varint()? {
+            ops_trace.push(r.varint()?);
+        }
+        let mut breakdown_trace = Vec::new();
+        for _ in 0..r.varint()? {
+            breakdown_trace.push(crate::clock::TimeBreakdown {
+                app_ns: r.f64()?,
+                profiling_ns: r.f64()?,
+                migration_ns: r.f64()?,
+            });
+        }
+        let series = obs::IntervalSeries::load(r)?;
+        let prev_breakdown = crate::clock::TimeBreakdown {
+            app_ns: r.f64()?,
+            profiling_ns: r.f64()?,
+            migration_ns: r.f64()?,
+        };
+        let prev_migrated = r.varint()?;
+        Ok(ScenarioProgress {
+            window_counts,
+            interval_ns,
+            ops_trace,
+            breakdown_trace,
+            series,
+            prev_breakdown,
+            prev_migrated,
+        })
     }
 
     /// Finalizes telemetry and assembles the report.

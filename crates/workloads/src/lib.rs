@@ -169,4 +169,36 @@ mod tests {
         }
         assert!(build_paper_workload_seeded("nope", 1024, 2, 1).is_none());
     }
+
+    #[test]
+    fn declared_footprint_matches_setup_for_every_workload() {
+        use tiersim::addr::PAGE_SIZE_2M;
+        use tiersim::machine::{Machine, MachineConfig};
+        use tiersim::sim::{FirstTouchPolicy, SimEnv};
+        use tiersim::tier::tiny_two_tier;
+
+        // Both above and below the VoltDB warehouse floor, the declared
+        // footprint (available before setup, feeding the multi-tenant
+        // initial grant) must equal the mapped footprint exactly.
+        for scale in [1 << 12, 1 << 17] {
+            for entry in catalog() {
+                let mut wl = build_paper_workload(entry.name, scale, 2).unwrap();
+                let declared = wl.declared_footprint();
+                assert!(declared > 0, "{} declares nothing at scale {scale}", entry.name);
+                let mut m = Machine::new(MachineConfig::new(
+                    tiny_two_tier(256 * PAGE_SIZE_2M, 256 * PAGE_SIZE_2M),
+                    2,
+                ));
+                let mut mgr = FirstTouchPolicy;
+                let mut env = SimEnv { machine: &mut m, manager: &mut mgr };
+                wl.setup(&mut env);
+                assert_eq!(
+                    declared,
+                    wl.footprint(),
+                    "{} declared a footprint its setup did not map at scale {scale}",
+                    entry.name
+                );
+            }
+        }
+    }
 }

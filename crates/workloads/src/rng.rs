@@ -153,6 +153,54 @@ mod tests {
     }
 
     #[test]
+    fn prop_zipf_head_mass_is_seed_stable() {
+        use proptest_lite::{gen, prop_check};
+        // The sampled *distribution* is a property of (n, theta) alone:
+        // any two seed streams put the same mass on the head ranks (the
+        // serving generators lean on this — per-thread streams must see
+        // the same popularity curve), every draw is in bounds, and the
+        // head carries more than its uniform share.
+        prop_check!(
+            "zipf_head_mass_is_seed_stable",
+            16,
+            (
+                gen::u64_range(1_000, 200_000),
+                gen::f64_range(0.3, 0.99),
+                gen::u64_range(0, 1 << 62),
+            ),
+            |&(n, theta, seed)| {
+                const DRAWS: u64 = 20_000;
+                let z = Zipfian::new(n, theta);
+                let decile = (n / 10).max(1);
+                let mut shares = [0.0f64; 2];
+                for (i, s) in [seed, seed ^ 0xD1CE_B00C].into_iter().enumerate() {
+                    let mut rng = SplitMix64::new(s);
+                    let mut hits = 0u64;
+                    for _ in 0..DRAWS {
+                        let k = z.sample(&mut rng);
+                        proptest_lite::prop_assert!(k < n, "sample {k} out of bounds (n={n})");
+                        if k < decile {
+                            hits += 1;
+                        }
+                    }
+                    shares[i] = hits as f64 / DRAWS as f64;
+                }
+                proptest_lite::prop_assert!(
+                    shares[0] > 0.15,
+                    "head decile under-weighted: {} (n={n}, theta={theta})",
+                    shares[0]
+                );
+                proptest_lite::prop_assert!(
+                    (shares[0] - shares[1]).abs() < 0.05,
+                    "seed-dependent distribution: {} vs {} (n={n}, theta={theta})",
+                    shares[0],
+                    shares[1]
+                );
+            }
+        );
+    }
+
+    #[test]
     fn scatter_is_stable_and_bounded() {
         assert_eq!(scatter(5, 100, 1), scatter(5, 100, 1));
         for rank in 0..1000 {

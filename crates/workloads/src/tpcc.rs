@@ -30,6 +30,17 @@ const ORDER_LINE: u64 = 64;
 pub struct TpccConfig {
     /// Number of warehouses.
     pub warehouses: u64,
+    /// Customer rows per district (the TPC-C spec's 3 000; thinned below
+    /// the warehouse floor so the footprint keeps tracking `1/scale`).
+    pub customers_per_district: u64,
+    /// Stock rows per warehouse (the spec's 100 000; thinned like the
+    /// customer table).
+    pub stock_per_wh: u64,
+    /// Item-table rows (the spec's fixed 100 000). The item table is not
+    /// per-warehouse, so without thinning its 8 MB dwarfs a deeply
+    /// scaled tenant's whole quota; below the warehouse floor it shrinks
+    /// with the same rule as the stock table.
+    pub items: u64,
     /// Number of application threads.
     pub threads: usize,
     /// Fraction of transactions against a non-home warehouse.
@@ -43,10 +54,26 @@ pub struct TpccConfig {
 
 impl TpccConfig {
     /// The paper's configuration scaled by `scale`: 5 K warehouses
-    /// (~300 GB) at scale 1.
+    /// (~300 GB) at scale 1. TPC-C needs at least two warehouses (remote
+    /// transactions must have somewhere to go), so past `scale > 2500`
+    /// the warehouse count pins at 2 and the customer, stock, and item
+    /// *densities* shrink instead — the footprint stays proportional to
+    /// `1/scale` at every scale, where the old pure floor froze it at
+    /// ~142 MB (fatal in a deeply split multi-tenant quota).
     pub fn paper(scale: u64, threads: usize) -> TpccConfig {
+        let warehouses = (5_000 / scale).max(2);
+        let thin = |rows: u64, floor: u64| {
+            if 5_000 / scale >= 2 {
+                rows
+            } else {
+                (rows * 5_000 / (warehouses * scale)).max(floor)
+            }
+        };
         TpccConfig {
-            warehouses: (5_000 / scale).max(2),
+            warehouses,
+            customers_per_district: thin(CUSTOMERS_PER_DISTRICT, 30),
+            stock_per_wh: thin(STOCK_PER_WH, 1_000),
+            items: thin(ITEMS, 1_000),
             threads,
             remote_frac: 0.1,
             cpu_ns_per_op: 25_000.0,
@@ -79,9 +106,9 @@ impl Tpcc {
             .map(|t| SplitMix64::new(cfg.seed ^ ((t as u64) << 24)))
             .collect();
         Tpcc {
-            cust_skew: Zipfian::new(CUSTOMERS_PER_DISTRICT, 0.6),
-            stock_skew: Zipfian::new(STOCK_PER_WH, 0.6),
-            item_skew: Zipfian::new(ITEMS, 0.8),
+            cust_skew: Zipfian::new(cfg.customers_per_district, 0.6),
+            stock_skew: Zipfian::new(cfg.stock_per_wh, 0.6),
+            item_skew: Zipfian::new(cfg.items, 0.8),
             cfg,
             items: VaRange::from_len(VirtAddr(0), 0),
             warehouse: VaRange::from_len(VirtAddr(0), 0),
@@ -107,12 +134,12 @@ impl Tpcc {
     }
 
     fn customer_addr(&self, wh: u64, district: u64, cust: u64) -> VirtAddr {
-        let idx = (wh * DISTRICTS_PER_WH + district) * CUSTOMERS_PER_DISTRICT + cust;
+        let idx = (wh * DISTRICTS_PER_WH + district) * self.cfg.customers_per_district + cust;
         elem_addr(self.customer, idx, CUSTOMER_ROW)
     }
 
     fn stock_addr(&self, wh: u64, item: u64) -> VirtAddr {
-        elem_addr(self.stock, wh * STOCK_PER_WH + item, STOCK_ROW)
+        elem_addr(self.stock, wh * self.cfg.stock_per_wh + item, STOCK_ROW)
     }
 
     fn new_order(&mut self, env: &mut dyn MemEnv, tid: usize) {
@@ -176,16 +203,17 @@ impl Workload for Tpcc {
     fn setup(&mut self, env: &mut dyn MemEnv) {
         let w = self.cfg.warehouses;
         let mut layout = Layout::new();
-        self.items = layout.add(env, "tpcc.item", ITEMS * ITEM_ROW, true);
+        self.items = layout.add(env, "tpcc.item", self.cfg.items * ITEM_ROW, true);
         self.warehouse = layout.add(env, "tpcc.warehouse", w * WAREHOUSE_ROW, true);
         self.district = layout.add(env, "tpcc.district", w * DISTRICTS_PER_WH * DISTRICT_ROW, true);
         self.customer = layout.add(
             env,
             "tpcc.customer",
-            w * DISTRICTS_PER_WH * CUSTOMERS_PER_DISTRICT * CUSTOMER_ROW,
+            w * DISTRICTS_PER_WH * self.cfg.customers_per_district * CUSTOMER_ROW,
             true,
         );
-        self.stock = layout.add(env, "tpcc.stock", w * STOCK_PER_WH * STOCK_ROW, true);
+        self.stock =
+            layout.add(env, "tpcc.stock", w * self.cfg.stock_per_wh * STOCK_ROW, true);
         let log_bytes = (self.stock.len() / 8).max(ORDER_LINE * 1024);
         self.orderlog = layout.add(env, "tpcc.orderlog", log_bytes, true);
         let threads = self.cfg.threads.max(1);
@@ -214,6 +242,18 @@ impl Workload for Tpcc {
             + self.orderlog.len()
     }
 
+    fn declared_footprint(&self) -> u64 {
+        use crate::layout::vma_len;
+        let w = self.cfg.warehouses;
+        let stock = vma_len(w * self.cfg.stock_per_wh * STOCK_ROW);
+        vma_len(self.cfg.items * ITEM_ROW)
+            + vma_len(w * WAREHOUSE_ROW)
+            + vma_len(w * DISTRICTS_PER_WH * DISTRICT_ROW)
+            + vma_len(w * DISTRICTS_PER_WH * self.cfg.customers_per_district * CUSTOMER_ROW)
+            + stock
+            + vma_len((stock / 8).max(ORDER_LINE * 1024))
+    }
+
     fn true_hot_ranges(&self) -> Vec<VaRange> {
         vec![self.items, self.warehouse, self.district]
     }
@@ -232,8 +272,16 @@ mod tests {
     use tiersim::tier::tiny_two_tier;
 
     fn tpcc() -> (Tpcc, Machine) {
-        let cfg =
-            TpccConfig { warehouses: 2, threads: 2, remote_frac: 0.1, cpu_ns_per_op: 0.0, seed: 3 };
+        let cfg = TpccConfig {
+            warehouses: 2,
+            customers_per_district: CUSTOMERS_PER_DISTRICT,
+            stock_per_wh: STOCK_PER_WH,
+            items: ITEMS,
+            threads: 2,
+            remote_frac: 0.1,
+            cpu_ns_per_op: 0.0,
+            seed: 3,
+        };
         let mut t = Tpcc::new(cfg);
         let mut m = Machine::new(MachineConfig::new(
             tiny_two_tier(128 * PAGE_SIZE_2M, 128 * PAGE_SIZE_2M),
@@ -284,6 +332,49 @@ mod tests {
             t.new_order(&mut env, i % 2);
         }
         assert!(t.order_head > slots, "head advanced past one lap");
+    }
+
+    #[test]
+    fn paper_scaling_thins_density_below_the_warehouse_floor() {
+        // Above the floor: spec densities, warehouses track scale.
+        let big = TpccConfig::paper(256, 2);
+        assert_eq!(big.warehouses, 19);
+        assert_eq!(big.customers_per_district, CUSTOMERS_PER_DISTRICT);
+        assert_eq!(big.stock_per_wh, STOCK_PER_WH);
+        assert_eq!(big.items, ITEMS);
+        // Below the floor: two warehouses, thinner tables — the dominant
+        // tables keep shrinking with scale instead of freezing.
+        let small = TpccConfig::paper(4096, 2);
+        assert_eq!(small.warehouses, 2);
+        assert!(small.customers_per_district < CUSTOMERS_PER_DISTRICT);
+        assert!(small.stock_per_wh < STOCK_PER_WH);
+        assert!(small.items < ITEMS, "the shared item table thins too");
+        let smaller = TpccConfig::paper(8192, 2);
+        assert!(
+            smaller.stock_per_wh < small.stock_per_wh,
+            "footprint keeps tracking 1/scale past the floor"
+        );
+        let dominant = |c: &TpccConfig| {
+            c.warehouses
+                * (DISTRICTS_PER_WH * c.customers_per_district * CUSTOMER_ROW
+                    + c.stock_per_wh * STOCK_ROW)
+        };
+        let ratio = dominant(&small) as f64 / dominant(&smaller) as f64;
+        assert!((1.5..2.5).contains(&ratio), "halving again roughly halves bytes: {ratio}");
+        // A 32-tenant quick cell hands each tenant about six 2 MB blocks;
+        // all six tables must fit that even after per-VMA frame rounding.
+        let deep = TpccConfig::paper(4096 * 32, 2);
+        let round = |b: u64| b.div_ceil(PAGE_SIZE_2M).max(1) * PAGE_SIZE_2M;
+        let stock_bytes = deep.warehouses * deep.stock_per_wh * STOCK_ROW;
+        let frames = round(deep.items * ITEM_ROW)
+            + round(deep.warehouses * WAREHOUSE_ROW)
+            + round(deep.warehouses * DISTRICTS_PER_WH * DISTRICT_ROW)
+            + round(
+                deep.warehouses * DISTRICTS_PER_WH * deep.customers_per_district * CUSTOMER_ROW,
+            )
+            + round(stock_bytes)
+            + round((stock_bytes / 8).max(ORDER_LINE * 1024));
+        assert!(frames <= 12 << 20, "deep-split footprint outgrows its quota: {frames}");
     }
 
     #[test]

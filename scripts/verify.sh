@@ -34,7 +34,7 @@ fi
 # override, an n/a experiment row, a failed result write — fails verify.
 echo "==> quick harness smoke (MTM_QUICK=1 MTM_JOBS=4)"
 smoke_err=$(mktemp)
-trap 'rm -f "$smoke_err" "$smoke_err.all" "$smoke_err.adm" "$smoke_err.mt1" "$smoke_err.mt4"' EXIT
+trap 'rm -f "$smoke_err" "$smoke_err.all" "$smoke_err.adm" "$smoke_err.mt1" "$smoke_err.mt4" "$smoke_err.sc1" "$smoke_err.sc4"' EXIT
 if ! MTM_QUICK=1 MTM_JOBS=4 cargo run --release -q -p mtm-harness --bin all \
         >/dev/null 2>"$smoke_err"; then
     cat "$smoke_err" >&2
@@ -224,6 +224,71 @@ if grep -E '^warning:' "$smoke_err"; then
 fi
 if ! cmp -s "$smoke_err.mt1" "$smoke_err.mt4"; then
     echo "verify: FAIL (MTM_CHECK=1 perturbed the multitenant table)"
+    exit 1
+fi
+
+# Scenario smoke: the serving-generator/churn sweep (bin/scenarios) at a
+# short horizon. The table must be byte-identical between MTM_JOBS=1 and
+# MTM_JOBS=4 and between MTM_RUN_WORKERS=1 and 4 (cells are pure
+# functions of their labels; the churn cell steps tenants lock-step
+# serial), and an MTM_CHECK=1 pass arms the sanitizer without changing a
+# byte. Every full-sweep pass also exercises the checkpoint machinery:
+# the bin saves the MTM/KVDrift cell mid-run, resumes it in fresh
+# objects, and asserts the resumed report is byte-identical — a failed
+# differential panics the run. With MTM_SCENARIO_INTERVALS set the bin
+# does not touch the committed results/scenarios.txt, so stdout is
+# compared directly. The warning: gate applies to all passes.
+echo "==> scenario smoke (MTM_QUICK=1 MTM_SCENARIO_INTERVALS=12, MTM_JOBS/MTM_RUN_WORKERS 1 vs 4, then MTM_CHECK=1)"
+if ! MTM_QUICK=1 MTM_SCENARIO_INTERVALS=12 MTM_JOBS=1 cargo run --release -q -p mtm-harness --bin scenarios \
+        >"$smoke_err.sc1" 2>"$smoke_err"; then
+    cat "$smoke_err" >&2
+    echo "verify: FAIL (scenario smoke run failed)"
+    exit 1
+fi
+if grep -E '^warning:' "$smoke_err"; then
+    echo "verify: FAIL (warning lines on scenario stderr, see above)"
+    exit 1
+fi
+if ! MTM_QUICK=1 MTM_SCENARIO_INTERVALS=12 MTM_JOBS=4 cargo run --release -q -p mtm-harness --bin scenarios \
+        >"$smoke_err.sc4" 2>"$smoke_err"; then
+    cat "$smoke_err" >&2
+    echo "verify: FAIL (scenario MTM_JOBS=4 smoke run failed)"
+    exit 1
+fi
+if grep -E '^warning:' "$smoke_err"; then
+    echo "verify: FAIL (warning lines on scenario MTM_JOBS=4 stderr, see above)"
+    exit 1
+fi
+if ! cmp -s "$smoke_err.sc1" "$smoke_err.sc4"; then
+    echo "verify: FAIL (scenario table differs between MTM_JOBS=1 and 4)"
+    exit 1
+fi
+if ! MTM_QUICK=1 MTM_SCENARIO_INTERVALS=12 MTM_RUN_WORKERS=4 MTM_JOBS=4 cargo run --release -q -p mtm-harness --bin scenarios \
+        >"$smoke_err.sc4" 2>"$smoke_err"; then
+    cat "$smoke_err" >&2
+    echo "verify: FAIL (scenario MTM_RUN_WORKERS=4 smoke run failed)"
+    exit 1
+fi
+if grep -E '^warning:' "$smoke_err"; then
+    echo "verify: FAIL (warning lines on scenario MTM_RUN_WORKERS stderr, see above)"
+    exit 1
+fi
+if ! cmp -s "$smoke_err.sc1" "$smoke_err.sc4"; then
+    echo "verify: FAIL (MTM_RUN_WORKERS=4 perturbed the scenario table)"
+    exit 1
+fi
+if ! MTM_CHECK=1 MTM_QUICK=1 MTM_SCENARIO_INTERVALS=12 MTM_JOBS=4 cargo run --release -q -p mtm-harness --bin scenarios \
+        >"$smoke_err.sc4" 2>"$smoke_err"; then
+    cat "$smoke_err" >&2
+    echo "verify: FAIL (scenario MTM_CHECK smoke run failed)"
+    exit 1
+fi
+if grep -E '^warning:' "$smoke_err"; then
+    echo "verify: FAIL (warning lines on scenario MTM_CHECK stderr, see above)"
+    exit 1
+fi
+if ! cmp -s "$smoke_err.sc1" "$smoke_err.sc4"; then
+    echo "verify: FAIL (MTM_CHECK=1 perturbed the scenario table)"
     exit 1
 fi
 
