@@ -271,6 +271,7 @@ pub fn fail(context: &str, violations: &[String]) -> ! {
         msg.push_str(v);
         msg.push('\n');
     }
+    // lint:allow(panic-path): aborting on a broken invariant is this crate's entire contract
     panic!("{msg}");
 }
 

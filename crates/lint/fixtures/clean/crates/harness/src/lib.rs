@@ -1,0 +1,6 @@
+//! Clean twin decision crate: seeds flow in, nothing ambient flows out.
+
+/// Decision entry point over the deterministic helper.
+pub fn run_cell(seed: u64) -> u64 {
+    seed ^ mtm_util::jitter(seed)
+}

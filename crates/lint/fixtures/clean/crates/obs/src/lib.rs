@@ -1,0 +1,3 @@
+//! Clean twin obs crate root.
+
+pub mod metrics;

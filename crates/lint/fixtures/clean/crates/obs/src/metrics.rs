@@ -1,0 +1,17 @@
+//! Clean twin metric names: unique, well-formed, all booked via consts.
+
+pub mod names {
+    /// Runs completed.
+    pub const RUNS_TOTAL: &str = "runs_total";
+    /// Pages migrated.
+    pub const PAGES_MOVED: &str = "pages_moved";
+}
+
+/// Minimal booking surface standing in for the real registry.
+pub fn counter_add(_name: &str, _v: u64) {}
+
+/// Books every declared name through its const.
+pub fn book() {
+    counter_add(names::RUNS_TOTAL, 1);
+    counter_add(names::PAGES_MOVED, 1);
+}

@@ -1,0 +1,4 @@
+//! Clean twin tiersim crate root.
+
+pub mod engine;
+pub mod machine;

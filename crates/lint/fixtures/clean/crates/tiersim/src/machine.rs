@@ -1,0 +1,27 @@
+//! Clean twin machine: both functions take the locks in the same order,
+//! so the acquisition-order graph is acyclic.
+
+use std::sync::Mutex;
+
+/// Two locks, always taken table-then-stats.
+pub struct Machine {
+    /// Page-table lock.
+    pub table: Mutex<u64>,
+    /// Statistics lock.
+    pub stats: Mutex<u64>,
+}
+
+/// Takes `table` then `stats`.
+pub fn step(m: &Machine) -> u64 {
+    let t = m.table.lock().expect("table lock");
+    let s = m.stats.lock().expect("stats lock");
+    *t + *s
+}
+
+/// Also takes `table` then `stats` — the consistent twin of the
+/// corpus inversion.
+pub fn report(m: &Machine) -> u64 {
+    let t = m.table.lock().expect("table lock");
+    let s = m.stats.lock().expect("stats lock");
+    *t - *s
+}

@@ -1,0 +1,6 @@
+//! Corpus decision crate: every fn here is a D6 entry point.
+
+/// Decision entry point that launders entropy through the helper crate.
+pub fn run_cell(seed: u64) -> u64 {
+    seed ^ mtm_util::jitter()
+}

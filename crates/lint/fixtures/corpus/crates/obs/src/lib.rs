@@ -1,0 +1,3 @@
+//! Corpus obs crate root.
+
+pub mod metrics;

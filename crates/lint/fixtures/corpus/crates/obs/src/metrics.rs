@@ -1,0 +1,24 @@
+//! Corpus metric names: seeded O1 violations.
+
+pub mod names {
+    /// Booked and clean.
+    pub const RUNS_TOTAL: &str = "runs_total";
+    /// Violates the `[a-z0-9_]+` charset.
+    pub const BAD_CHARSET: &str = "Runs-Total";
+    /// Duplicates RUNS_TOTAL's value.
+    pub const RUNS_DUP: &str = "runs_total";
+    /// Declared but never booked anywhere.
+    pub const DEAD_NAME: &str = "dead_name";
+}
+
+/// Minimal booking surface standing in for the real registry.
+pub fn counter_add(_name: &str, _v: u64) {}
+
+/// Books the declared names (so only DEAD_NAME stays dead) plus one raw
+/// literal that must be flagged.
+pub fn book() {
+    counter_add(names::RUNS_TOTAL, 1);
+    counter_add(names::BAD_CHARSET, 1);
+    counter_add(names::RUNS_DUP, 1);
+    counter_add("raw_booked_name", 1);
+}

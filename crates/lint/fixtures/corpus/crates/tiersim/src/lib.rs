@@ -1,0 +1,4 @@
+//! Corpus tiersim crate root.
+
+pub mod engine;
+pub mod machine;

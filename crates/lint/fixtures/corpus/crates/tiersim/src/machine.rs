@@ -1,0 +1,25 @@
+//! Corpus machine: a seeded lock-order inversion for D7.
+
+use std::sync::Mutex;
+
+/// Two locks that the functions below take in opposite orders.
+pub struct Machine {
+    /// Page-table lock.
+    pub table: Mutex<u64>,
+    /// Statistics lock.
+    pub stats: Mutex<u64>,
+}
+
+/// Takes `table` then `stats`.
+pub fn step(m: &Machine) -> u64 {
+    let t = m.table.lock().expect("table lock");
+    let s = m.stats.lock().expect("stats lock");
+    *t + *s
+}
+
+/// Takes `stats` then `table` — the inversion D7 must flag.
+pub fn report(m: &Machine) -> u64 {
+    let s = m.stats.lock().expect("stats lock");
+    let t = m.table.lock().expect("table lock");
+    *t - *s
+}

@@ -1,17 +1,40 @@
 //! Workspace determinism lint driver.
 //!
-//! Usage: `cargo run -p mtm-lint --bin lint [-- <root>]`
+//! Usage: `cargo run -p mtm-lint --bin lint [-- [--json|--graph] [<root>]]`
 //!
 //! Scans every workspace `.rs` file and Cargo manifest against the
-//! repo-specific rules (D1–D5, H1; see the crate docs), prints findings
-//! as `file:line: rule: message`, and exits nonzero if any survive the
-//! `lint.toml` allowlist. `scripts/verify.sh` gates on a clean run.
+//! textual rules (D1–D5, H1) and the semantic rules (D6 determinism
+//! taint, D7 lock order, D8 panic paths, O1 obs names, L1 bad allows;
+//! see the crate docs), prints findings as `file:line: rule: message`,
+//! and exits nonzero if any survive the `lint.toml` allowlist.
+//! `scripts/verify.sh` gates on a clean run.
+//!
+//! Flags:
+//! - `--json`: machine-readable output — a JSON array with one object
+//!   per finding, stable field order (`path`, `line`, `code`, `slug`,
+//!   `message`). The exit code is unchanged.
+//! - `--graph`: dump the resolved call graph and lock-order edge set to
+//!   stdout for triage, instead of linting.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let root = std::env::args().nth(1).map(PathBuf::from).unwrap_or_else(|| {
+    let mut json = false;
+    let mut graph = false;
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--graph" => graph = true,
+            other if other.starts_with("--") => {
+                eprintln!("lint: unknown flag {other} (known: --json, --graph)");
+                return ExitCode::FAILURE;
+            }
+            other => root = Some(PathBuf::from(other)),
+        }
+    }
+    let root = root.unwrap_or_else(|| {
         // crates/lint -> crates -> workspace root
         PathBuf::from(env!("CARGO_MANIFEST_DIR"))
             .parent()
@@ -19,12 +42,30 @@ fn main() -> ExitCode {
             .map(|p| p.to_path_buf())
             .unwrap_or_else(|| PathBuf::from("."))
     });
-    match mtm_lint::run(&root) {
-        Ok(findings) if findings.is_empty() => {
+    match mtm_lint::run_with_graph(&root) {
+        Ok((_, ws)) if graph => {
+            print!("{}", ws.dump());
+            ExitCode::SUCCESS
+        }
+        Ok((findings, _)) if json => {
+            println!("[");
+            for (i, f) in findings.iter().enumerate() {
+                let sep = if i + 1 < findings.len() { "," } else { "" };
+                println!("  {}{sep}", f.to_json());
+            }
+            println!("]");
+            if findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("lint: {} finding(s)", findings.len());
+                ExitCode::FAILURE
+            }
+        }
+        Ok(findings) if findings.0.is_empty() => {
             println!("lint: OK ({} sources scanned)", mtm_lint::workspace_sources(&root).len());
             ExitCode::SUCCESS
         }
-        Ok(findings) => {
+        Ok((findings, _)) => {
             for f in &findings {
                 println!("{f}");
             }

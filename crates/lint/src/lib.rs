@@ -10,12 +10,13 @@
 //! in a string literal or `Instant::now` in a doc comment never trips a
 //! rule.
 //!
-//! Rules:
+//! Textual rules (one line at a time):
 //! - **D1 wall-clock** — `Instant::now`/`SystemTime::now` outside
 //!   `crates/bench`.
 //! - **D2 unordered-map** — `HashMap`/`HashSet` in report/decision
-//!   crates (`mtm`, `baselines`, `harness`, `tiersim`, `obs`) without a
-//!   justified `// lint:allow(unordered-map): <reason>` annotation.
+//!   crates (`mtm`, `baselines`, `harness`, `tiersim`, `obs`,
+//!   `scenario`) without a justified
+//!   `// lint:allow(unordered-map): <reason>` annotation.
 //! - **D3 entropy** — `rand`-style entropy sources anywhere.
 //! - **D4 non-exhaustive-error** — public `*Error` enums must carry
 //!   `#[non_exhaustive]`.
@@ -24,15 +25,41 @@
 //! - **H1 hermetic-dep** — every manifest dependency must resolve
 //!   inside the workspace (see [`hermetic`]).
 //!
+//! Semantic rules (whole-workspace, over the call graph built by
+//! [`parse`] + [`graph`]):
+//! - **D6 determinism-taint** — no function transitively reachable from
+//!   a decision/report entry point may reach a D1/D2/D3 source, even
+//!   across crates the textual scopes don't cover.
+//! - **D7 lock-order** — the lock-acquisition order graph must be
+//!   acyclic (a real deadlock detector for the worker-pool code).
+//! - **D8 panic-path** — the transitive closure of the migration /
+//!   checkpoint roots must be unwrap-free (D5 generalized to the call
+//!   tree).
+//! - **O1 obs-name** — metric names are declared once in `obs::names`,
+//!   unique, `[a-z0-9_]+`, booked via the consts, and never dead
+//!   (see [`obsnames`]).
+//! - **L1 bad-allow** — a `lint:allow(<slug>)` annotation or `lint.toml`
+//!   entry naming no existing rule is itself a finding (a misspelled
+//!   slug must not be silently inert).
+//!
 //! Test code is exempt: files under `tests/`/`benches/` and `#[cfg(test)]`
 //! regions. Line-level exceptions use `// lint:allow(<slug>): <reason>`
 //! (same line or the comment line directly above); repo-wide exceptions
-//! live in `lint.toml` (`allow <slug> <path-substring>` lines).
+//! live in `lint.toml` (`allow <slug> <path-substring>` lines). A
+//! justified line-level allow also suppresses the semantic rule riding on
+//! the same fact (the author looked at that exact line); a `lint.toml`
+//! path-level allow does **not** stop D6/D8 from auditing the allowed
+//! code's *callers* — that asymmetry is what catches cross-crate
+//! laundering.
 
+use std::collections::BTreeSet;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
+pub mod graph;
 pub mod hermetic;
+pub mod obsnames;
+pub mod parse;
 
 /// The lint rules, in reporting order.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -49,10 +76,36 @@ pub enum Rule {
     NoUnwrap,
     /// H1: non-hermetic manifest dependency.
     HermeticDep,
+    /// D6: D1/D2/D3 source reachable from a decision/report entry point.
+    DeterminismTaint,
+    /// D7: cycle in the lock-acquisition order graph.
+    LockOrder,
+    /// D8: panicking shortcut reachable from a migration/checkpoint root.
+    PanicPath,
+    /// O1: metric-name audit violation (duplicate, bad charset, raw
+    /// literal booking, or a declared-but-never-booked name).
+    ObsName,
+    /// L1: `lint:allow`/`lint.toml` slug naming no existing rule.
+    BadAllow,
 }
 
 impl Rule {
-    /// Short rule code (`D1`..`D5`, `H1`).
+    /// Every rule, in reporting order.
+    pub const ALL: &'static [Rule] = &[
+        Rule::WallClock,
+        Rule::UnorderedMap,
+        Rule::Entropy,
+        Rule::NonExhaustiveError,
+        Rule::NoUnwrap,
+        Rule::HermeticDep,
+        Rule::DeterminismTaint,
+        Rule::LockOrder,
+        Rule::PanicPath,
+        Rule::ObsName,
+        Rule::BadAllow,
+    ];
+
+    /// Short rule code (`D1`..`D8`, `H1`, `O1`, `L1`).
     pub fn code(self) -> &'static str {
         match self {
             Rule::WallClock => "D1",
@@ -61,6 +114,11 @@ impl Rule {
             Rule::NonExhaustiveError => "D4",
             Rule::NoUnwrap => "D5",
             Rule::HermeticDep => "H1",
+            Rule::DeterminismTaint => "D6",
+            Rule::LockOrder => "D7",
+            Rule::PanicPath => "D8",
+            Rule::ObsName => "O1",
+            Rule::BadAllow => "L1",
         }
     }
 
@@ -73,7 +131,17 @@ impl Rule {
             Rule::NonExhaustiveError => "non-exhaustive-error",
             Rule::NoUnwrap => "no-unwrap",
             Rule::HermeticDep => "hermetic-dep",
+            Rule::DeterminismTaint => "determinism-taint",
+            Rule::LockOrder => "lock-order",
+            Rule::PanicPath => "panic-path",
+            Rule::ObsName => "obs-name",
+            Rule::BadAllow => "bad-allow",
         }
+    }
+
+    /// The rule a slug names, if any (used to reject misspelled slugs).
+    pub fn from_slug(slug: &str) -> Option<Rule> {
+        Rule::ALL.iter().copied().find(|r| r.slug() == slug)
     }
 }
 
@@ -104,6 +172,39 @@ impl fmt::Display for Finding {
     }
 }
 
+/// Escapes a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Finding {
+    /// One JSON object per finding, with a stable field order
+    /// (`path`, `line`, `code`, `slug`, `message`) so downstream tooling
+    /// can diff outputs byte-for-byte.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"path\":\"{}\",\"line\":{},\"code\":\"{}\",\"slug\":\"{}\",\"message\":\"{}\"}}",
+            json_escape(&self.path),
+            self.line,
+            self.rule.code(),
+            self.rule.slug(),
+            json_escape(&self.message)
+        )
+    }
+}
+
 /// One `lint.toml` allowlist entry: suppress `slug` findings in any file
 /// whose relative path contains `path_substr`.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -112,6 +213,8 @@ pub struct Allow {
     pub slug: String,
     /// Substring matched against the finding's relative path.
     pub path_substr: String,
+    /// 1-based `lint.toml` line, for slug-validation findings.
+    pub line: usize,
 }
 
 /// Parses the plain-text allowlist: `#` comment lines, blank lines, and
@@ -136,7 +239,11 @@ pub fn parse_allowlist(text: &str) -> Result<Vec<Allow>, String> {
                         ));
                     }
                 }
-                out.push(Allow { slug: slug.to_string(), path_substr: path.to_string() });
+                out.push(Allow {
+                    slug: slug.to_string(),
+                    path_substr: path.to_string(),
+                    line: i + 1,
+                });
             }
             _ => {
                 return Err(format!(
@@ -292,7 +399,7 @@ pub fn strip_code(src: &str) -> String {
 }
 
 /// True when `word` occurs in `line` delimited by non-identifier chars.
-fn has_ident(line: &str, word: &str) -> bool {
+pub(crate) fn has_ident(line: &str, word: &str) -> bool {
     let is_ident = |c: char| c.is_alphanumeric() || c == '_';
     let mut start = 0;
     while let Some(pos) = line[start..].find(word) {
@@ -309,7 +416,7 @@ fn has_ident(line: &str, word: &str) -> bool {
 
 /// Marks every line inside a `#[cfg(test)]`-gated item (brace-matched
 /// from the attribute), so unit-test modules are rule-exempt.
-fn test_mask(stripped_lines: &[&str]) -> Vec<bool> {
+pub(crate) fn test_mask(stripped_lines: &[&str]) -> Vec<bool> {
     let mut mask = vec![false; stripped_lines.len()];
     let mut i = 0;
     while i < stripped_lines.len() {
@@ -345,7 +452,11 @@ fn test_mask(stripped_lines: &[&str]) -> Vec<bool> {
 /// If line `idx` (or the comment-only line directly above it) carries a
 /// `lint:allow(<slug>)` annotation, returns its trimmed reason text
 /// (possibly empty — the caller turns an empty reason into a finding).
-fn annotation_reason<'a>(raw_lines: &'a [&'a str], idx: usize, slug: &str) -> Option<&'a str> {
+pub(crate) fn annotation_reason<'a>(
+    raw_lines: &'a [&'a str],
+    idx: usize,
+    slug: &str,
+) -> Option<&'a str> {
     let needle = format!("lint:allow({slug})");
     let extract = |line: &'a str| -> Option<&'a str> {
         let pos = line.find(&needle)?;
@@ -364,8 +475,10 @@ fn annotation_reason<'a>(raw_lines: &'a [&'a str], idx: usize, slug: &str) -> Op
     None
 }
 
-/// Crates whose output feeds reports or policy decisions (D2 scope).
-const ORDERED_CRATES: &[&str] = &[
+/// Crates whose output feeds reports or policy decisions (D2 scope, and
+/// the D6 entry-point set: every non-test fn in these crates is treated
+/// as a decision/report entry).
+pub(crate) const ORDERED_CRATES: &[&str] = &[
     "crates/mtm/",
     "crates/baselines/",
     "crates/harness/",
@@ -375,14 +488,14 @@ const ORDERED_CRATES: &[&str] = &[
 ];
 
 /// Entropy-source identifiers rejected everywhere (D3).
-const ENTROPY_IDENTS: &[&str] =
+pub(crate) const ENTROPY_IDENTS: &[&str] =
     &["thread_rng", "OsRng", "getrandom", "from_entropy", "StdRng", "SmallRng", "RandomState"];
 
 /// Files holding the transactional migration paths (D5 scope).
 const NO_UNWRAP_FILES: &[&str] = &["crates/tiersim/src/migrate.rs", "crates/mtm/src/migration.rs"];
 
 /// True when the path is wholly test code (integration tests, benches).
-fn is_test_path(rel: &str) -> bool {
+pub(crate) fn is_test_path(rel: &str) -> bool {
     rel.starts_with("tests/")
         || rel.contains("/tests/")
         || rel.starts_with("benches/")
@@ -517,7 +630,9 @@ pub fn workspace_sources(root: &Path) -> Vec<PathBuf> {
             let name = entry.file_name();
             let name = name.to_string_lossy();
             if path.is_dir() {
-                if matches!(name.as_ref(), "target" | ".git" | "results" | ".claude") {
+                // `fixtures` holds the lint crate's seeded-violation
+                // corpus — scanned by its own tests, never by self-scan.
+                if matches!(name.as_ref(), "target" | ".git" | "results" | ".claude" | "fixtures") {
                     continue;
                 }
                 stack.push(path);
@@ -540,6 +655,64 @@ fn rel_path(root: &Path, path: &Path) -> String {
         .join("/")
 }
 
+/// L1: flags `lint:allow(<slug>)` annotations whose slug names no
+/// existing rule — a misspelled slug must fail loudly, not silently
+/// leave the violation unexempted (or worse, look exempted in review).
+/// Only slugs drawn from the annotation charset `[a-z0-9-]+` are
+/// checked, so prose like `lint:allow(<slug>)` in docs stays inert.
+pub fn scan_bad_allows(rel: &str, src: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    if is_test_path(rel) {
+        return findings;
+    }
+    for (idx, line) in src.lines().enumerate() {
+        let mut start = 0;
+        while let Some(pos) = line[start..].find("lint:allow(") {
+            let at = start + pos + "lint:allow(".len();
+            let rest = &line[at..];
+            let slug: String = rest
+                .chars()
+                .take_while(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || *c == '-')
+                .collect();
+            start = at;
+            if slug.is_empty() || !rest[slug.len()..].starts_with(')') {
+                continue;
+            }
+            if Rule::from_slug(&slug).is_none() {
+                findings.push(Finding {
+                    path: rel.to_string(),
+                    line: idx + 1,
+                    rule: Rule::BadAllow,
+                    message: format!(
+                        "lint:allow({slug}) names no rule; known slugs: {}",
+                        Rule::ALL.iter().map(|r| r.slug()).collect::<Vec<_>>().join(", ")
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// L1 for the repo-wide allowlist: every `lint.toml` entry must name an
+/// existing rule slug.
+pub fn validate_allowlist(allows: &[Allow]) -> Vec<Finding> {
+    allows
+        .iter()
+        .filter(|a| Rule::from_slug(&a.slug).is_none())
+        .map(|a| Finding {
+            path: "lint.toml".to_string(),
+            line: a.line,
+            rule: Rule::BadAllow,
+            message: format!(
+                "allow entry names unknown rule slug `{}`; known slugs: {}",
+                a.slug,
+                Rule::ALL.iter().map(|r| r.slug()).collect::<Vec<_>>().join(", ")
+            ),
+        })
+        .collect()
+}
+
 /// Applies the allowlist: drops findings whose slug matches an entry and
 /// whose path contains the entry's substring.
 pub fn apply_allowlist(findings: Vec<Finding>, allows: &[Allow]) -> Vec<Finding> {
@@ -553,24 +726,63 @@ pub fn apply_allowlist(findings: Vec<Finding>, allows: &[Allow]) -> Vec<Finding>
         .collect()
 }
 
-/// Full lint run: every workspace `.rs` file through the source rules,
-/// every manifest through the hermeticity rules, allowlist applied,
-/// findings sorted. This is what `bin/lint` and `tests/hermetic.rs` call.
+/// Full lint run: every workspace `.rs` file through the textual rules,
+/// every manifest through the hermeticity rules, then the semantic
+/// passes (call-graph D6/D7/D8, obs-name O1) over the same sources,
+/// allowlist applied, findings sorted. This is what `bin/lint` and
+/// `tests/hermetic.rs` call.
 pub fn run(root: &Path) -> Result<Vec<Finding>, String> {
+    Ok(run_with_graph(root)?.0)
+}
+
+/// [`run`], but also returning the call-graph workspace so `bin/lint
+/// --graph` can dump it without re-reading the tree.
+pub fn run_with_graph(root: &Path) -> Result<(Vec<Finding>, graph::Workspace), String> {
     let allows = match std::fs::read_to_string(root.join("lint.toml")) {
         Ok(text) => parse_allowlist(&text)?,
         Err(_) => Vec::new(),
     };
-    let mut findings = Vec::new();
+    let mut files: Vec<(String, String)> = Vec::new();
     for path in workspace_sources(root) {
         let src = std::fs::read_to_string(&path)
             .map_err(|e| format!("read {}: {e}", path.display()))?;
-        findings.extend(scan_source(&rel_path(root, &path), &src));
+        files.push((rel_path(root, &path), src));
     }
-    findings.extend(hermetic::scan_manifests(root)?);
-    let mut findings = apply_allowlist(findings, &allows);
+    let (findings, ws) = run_on_files(&files, &allows, hermetic::scan_manifests(root)?);
+    Ok((findings, ws))
+}
+
+/// The pure core of [`run`]: textual + semantic rules over in-memory
+/// sources. Separated so the fixture-corpus tests can drive the whole
+/// pipeline without touching the real tree.
+pub fn run_on_files(
+    files: &[(String, String)],
+    allows: &[Allow],
+    manifest_findings: Vec<Finding>,
+) -> (Vec<Finding>, graph::Workspace) {
+    let mut findings = validate_allowlist(allows);
+    for (rel, src) in files {
+        findings.extend(scan_source(rel, src));
+        findings.extend(scan_bad_allows(rel, src));
+    }
+    findings.extend(manifest_findings);
+    let mut findings = apply_allowlist(findings, allows);
+
+    // The semantic passes dedup against textual findings that *survived*
+    // the allowlist: a base finding still on the report means the site
+    // is already visible, so D6/D8 stay quiet there; a base finding
+    // suppressed only by a path-level `lint.toml` entry leaves the site
+    // auditable from its callers (the laundering catch).
+    let base: BTreeSet<(String, usize, Rule)> =
+        findings.iter().map(|f| (f.path.clone(), f.line, f.rule)).collect();
+    let ws = graph::Workspace::build(files);
+    let mut semantic = ws.check_taint(&base);
+    semantic.extend(ws.check_lock_order());
+    semantic.extend(ws.check_panic_paths(&base));
+    semantic.extend(obsnames::audit(files));
+    findings.extend(apply_allowlist(semantic, allows));
     findings.sort();
-    Ok(findings)
+    (findings, ws)
 }
 
 #[cfg(test)]

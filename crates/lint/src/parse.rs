@@ -1,0 +1,623 @@
+//! Item-skeleton parser: the semantic layer's view of a Rust source file.
+//!
+//! Built on [`crate::strip_code`]'s string/comment-safe text, this module
+//! tokenizes a file and recovers its *item skeleton*: modules, `fn` items
+//! (with bodies kept as token ranges — no expression grammar), `impl` and
+//! `trait` blocks (so methods know their self type), and `use ... as ...`
+//! renames (so call resolution can chase aliases). That is deliberately
+//! all the structure the semantic rules (D6/D7/D8, see [`crate::graph`])
+//! need: per-function fact extraction walks the body token stream
+//! linearly, and whole-workspace reasoning happens over the call graph,
+//! not the syntax tree.
+//!
+//! The parser is conservative where Rust is hairy: generics and where
+//! clauses are skipped by balanced-token counting, nested `fn` items are
+//! pulled out as their own functions (and excluded from the parent's
+//! body range, so a fact is never attributed to the wrong `fn`), and
+//! `macro_rules!` bodies are skipped wholesale (fragments inside them are
+//! not code until expanded).
+
+use crate::{strip_code, test_mask};
+
+/// Token classes the skeleton parser distinguishes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Single punctuation character.
+    Punct,
+    /// A (blanked) string literal — contents are gone, position remains.
+    Str,
+    /// Numeric literal.
+    Num,
+    /// Lifetime tick (the `'` of `'a`; the ident follows separately).
+    Life,
+}
+
+/// One token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Token text (single char for punctuation).
+    pub text: String,
+    /// 1-based line number in the source file.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True for an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True for a punctuation token with exactly this char.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// One `fn` item recovered from the skeleton.
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// Bare function name.
+    pub name: String,
+    /// Self type for `impl`/`trait` methods (`impl Trait for T` records `T`).
+    pub owner: Option<String>,
+    /// Enclosing in-file module path (inline `mod` items only).
+    pub module: Vec<String>,
+    /// 1-based declaration line.
+    pub line: u32,
+    /// Body token range into [`ParsedFile::toks`]; empty for bodyless
+    /// declarations (trait signatures, extern fns).
+    pub body: std::ops::Range<usize>,
+    /// Token ranges of nested `fn` bodies inside `body`, which belong to
+    /// the nested items and must be skipped when scanning this one.
+    pub nested: Vec<std::ops::Range<usize>>,
+    /// True when the item is test code (`#[cfg(test)]` region or a
+    /// `#[test]`/`#[bench]` attribute) and therefore rule-exempt.
+    pub is_test: bool,
+}
+
+impl FnItem {
+    /// Display name: `Owner::name` for methods, `name` otherwise.
+    pub fn qual(&self) -> String {
+        match &self.owner {
+            Some(o) => format!("{o}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// One `use x as y;` rename: calls through `alias` resolve as `target`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UseRename {
+    /// The local alias introduced by `as`.
+    pub alias: String,
+    /// The original (last path segment) name.
+    pub target: String,
+}
+
+/// A tokenized file plus its item skeleton.
+#[derive(Clone, Debug)]
+pub struct ParsedFile {
+    /// Workspace-relative path with forward slashes.
+    pub rel: String,
+    /// Token stream of the stripped source.
+    pub toks: Vec<Tok>,
+    /// Every `fn` item, including nested ones, in declaration order.
+    pub fns: Vec<FnItem>,
+    /// `use ... as ...` renames declared anywhere in the file.
+    pub renames: Vec<UseRename>,
+    /// True when the file declares `RwLock` anywhere (gates whether
+    /// `.read()`/`.write()` count as lock acquisitions in this file).
+    pub has_rwlock: bool,
+}
+
+/// Tokenizes stripped source (see [`strip_code`]): identifiers, numbers,
+/// blanked string literals, lifetime ticks and single-char punctuation,
+/// each tagged with its 1-based line.
+pub fn tokenize(stripped: &str) -> Vec<Tok> {
+    let b: Vec<char> = stripped.chars().collect();
+    let n = b.len();
+    let mut out = Vec::new();
+    let mut line: u32 = 1;
+    let mut i = 0;
+    while i < n {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+        } else if c.is_whitespace() {
+            i += 1;
+        } else if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            out.push(Tok { kind: TokKind::Ident, text: b[start..i].iter().collect(), line });
+        } else if c.is_ascii_digit() {
+            let start = i;
+            while i < n && (b[i].is_alphanumeric() || b[i] == '_' || b[i] == '.') {
+                // Stop a float short of a method call: `1.max(2)`.
+                if b[i] == '.' && i + 1 < n && !b[i + 1].is_ascii_digit() {
+                    break;
+                }
+                i += 1;
+            }
+            out.push(Tok { kind: TokKind::Num, text: b[start..i].iter().collect(), line });
+        } else if c == '"' {
+            // A blanked plain string literal: quotes survive stripping.
+            let start_line = line;
+            i += 1;
+            while i < n && b[i] != '"' {
+                if b[i] == '\n' {
+                    line += 1;
+                }
+                i += 1;
+            }
+            i += 1;
+            out.push(Tok { kind: TokKind::Str, text: String::new(), line: start_line });
+        } else if c == '\'' {
+            // Lifetime tick or a blanked char literal; either way one
+            // token, the ident (if a lifetime) follows on its own.
+            if i + 2 < n && b[i + 2] == '\'' {
+                i += 3; // blanked char literal `' '`
+            } else {
+                out.push(Tok { kind: TokKind::Life, text: "'".to_string(), line });
+                i += 1;
+            }
+        } else {
+            out.push(Tok { kind: TokKind::Punct, text: c.to_string(), line });
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Index of the token after the region balanced on `open`/`close`,
+/// assuming `toks[i]` is the opening token. Returns `toks.len()` when
+/// unbalanced (truncated input).
+fn skip_balanced(toks: &[Tok], i: usize, open: char, close: char) -> usize {
+    let mut depth = 0i64;
+    let mut j = i;
+    while j < toks.len() {
+        if toks[j].is_punct(open) {
+            depth += 1;
+        } else if toks[j].is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+/// Rust keywords that look like call names but are not.
+const KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "break", "continue", "let", "mut",
+    "ref", "move", "in", "as", "fn", "impl", "dyn", "where", "use", "pub", "crate", "self",
+    "super", "mod", "struct", "enum", "trait", "type", "const", "static", "unsafe", "extern",
+    "box", "async", "await",
+];
+
+/// True when `s` is a Rust keyword (for call-site filtering).
+pub fn is_keyword(s: &str) -> bool {
+    KEYWORDS.contains(&s)
+}
+
+struct Parser<'a> {
+    toks: &'a [Tok],
+    /// Per-line test mask from the stripped source.
+    mask: &'a [bool],
+    fns: Vec<FnItem>,
+    renames: Vec<UseRename>,
+}
+
+impl Parser<'_> {
+    /// True when the 1-based line is inside a `#[cfg(test)]` region.
+    fn masked(&self, line: u32) -> bool {
+        self.mask.get(line as usize - 1).copied().unwrap_or(false)
+    }
+
+    /// Parses the item sequence in `toks[i..end]` under `module`/`owner`.
+    fn items(&mut self, mut i: usize, end: usize, module: &mut Vec<String>, owner: Option<&str>) {
+        let mut attr_test = false;
+        while i < end {
+            let t = &self.toks[i];
+            if t.is_punct('#') {
+                // Attribute: `#[...]` or `#![...]`; remember test markers.
+                let mut j = i + 1;
+                if j < end && self.toks[j].is_punct('!') {
+                    j += 1;
+                }
+                if j < end && self.toks[j].is_punct('[') {
+                    let close = skip_balanced(self.toks, j, '[', ']');
+                    if self.toks[j..close].iter().any(|t| t.is_ident("test") || t.is_ident("bench"))
+                    {
+                        attr_test = true;
+                    }
+                    i = close;
+                } else {
+                    i += 1;
+                }
+                continue;
+            }
+            if t.is_ident("mod") {
+                if i + 2 < end && self.toks[i + 1].kind == TokKind::Ident {
+                    let name = self.toks[i + 1].text.clone();
+                    if self.toks[i + 2].is_punct('{') {
+                        let close = skip_balanced(self.toks, i + 2, '{', '}');
+                        module.push(name);
+                        self.items(i + 3, close.saturating_sub(1), module, None);
+                        module.pop();
+                        i = close;
+                        attr_test = false;
+                        continue;
+                    }
+                }
+                i += 1;
+                continue;
+            }
+            if t.is_ident("use") {
+                i = self.use_decl(i + 1, end);
+                attr_test = false;
+                continue;
+            }
+            if t.is_ident("impl") || t.is_ident("trait") {
+                let is_trait = t.is_ident("trait");
+                // Find the block opener, skipping generics balanced so a
+                // `where T: Fn() -> u64` clause cannot fool us.
+                let mut j = i + 1;
+                let mut ty: Option<String> = None;
+                let mut after_for = false;
+                while j < end && !self.toks[j].is_punct('{') {
+                    if self.toks[j].is_punct(';') {
+                        break; // `impl Trait for T;`-style marker, no block
+                    }
+                    if self.toks[j].is_punct('<') {
+                        j = skip_angles(self.toks, j, end);
+                        continue;
+                    }
+                    if self.toks[j].is_ident("for") {
+                        after_for = true;
+                        ty = None;
+                        j += 1;
+                        continue;
+                    }
+                    if self.toks[j].is_ident("where") {
+                        break;
+                    }
+                    if self.toks[j].kind == TokKind::Ident && (ty.is_none() || after_for) {
+                        if ty.is_none() {
+                            ty = Some(self.toks[j].text.clone());
+                        }
+                        after_for = false;
+                    }
+                    j += 1;
+                }
+                while j < end && !self.toks[j].is_punct('{') && !self.toks[j].is_punct(';') {
+                    j += 1;
+                }
+                if j < end && self.toks[j].is_punct('{') {
+                    let close = skip_balanced(self.toks, j, '{', '}');
+                    let ty = ty.unwrap_or_default();
+                    let owner = if is_trait && ty.is_empty() { None } else { Some(ty) };
+                    self.items(j + 1, close.saturating_sub(1), module, owner.as_deref());
+                    i = close;
+                } else {
+                    i = j + 1;
+                }
+                attr_test = false;
+                continue;
+            }
+            if t.kind == TokKind::Ident && t.text == "macro_rules" {
+                // `macro_rules! name { ... }`: fragments inside are not code.
+                let mut j = i + 1;
+                while j < end && !self.toks[j].is_punct('{') {
+                    j += 1;
+                }
+                i = if j < end { skip_balanced(self.toks, j, '{', '}') } else { end };
+                attr_test = false;
+                continue;
+            }
+            if t.is_ident("fn") {
+                i = self.fn_item(i, end, module, owner, attr_test);
+                attr_test = false;
+                continue;
+            }
+            i += 1;
+        }
+    }
+
+    /// Parses `use ...;` collecting `x as y` renames; returns the index
+    /// after the terminating `;`.
+    fn use_decl(&mut self, mut i: usize, end: usize) -> usize {
+        let mut prev_ident: Option<String> = None;
+        while i < end && !self.toks[i].is_punct(';') {
+            let t = &self.toks[i];
+            if t.is_ident("as") {
+                if let (Some(target), Some(alias)) = (
+                    prev_ident.take(),
+                    self.toks.get(i + 1).filter(|a| a.kind == TokKind::Ident),
+                ) {
+                    // `use x as _;` discards the name — nothing to resolve.
+                    if alias.text != "_" {
+                        self.renames.push(UseRename { alias: alias.text.clone(), target });
+                    }
+                    i += 2;
+                    continue;
+                }
+            }
+            if t.kind == TokKind::Ident {
+                prev_ident = Some(t.text.clone());
+            } else if !t.is_punct(':') {
+                // A `::` keeps the chain going; anything else (`{`, `,`)
+                // starts a fresh segment.
+                if !t.is_punct(':') {
+                    prev_ident = None;
+                }
+            }
+            i += 1;
+        }
+        (i + 1).min(end)
+    }
+
+    /// Parses one `fn` item starting at the `fn` keyword; returns the
+    /// index after the item. Recurses into the body to pull out nested
+    /// `fn` items and records their ranges for exclusion.
+    fn fn_item(
+        &mut self,
+        i: usize,
+        end: usize,
+        module: &mut Vec<String>,
+        owner: Option<&str>,
+        attr_test: bool,
+    ) -> usize {
+        let Some(name_tok) = self.toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) else {
+            return i + 1; // `fn(` — a function-pointer type, not an item
+        };
+        let name = name_tok.text.clone();
+        let line = name_tok.line;
+        let mut j = i + 2;
+        if j < end && self.toks[j].is_punct('<') {
+            j = skip_angles(self.toks, j, end);
+        }
+        if j < end && self.toks[j].is_punct('(') {
+            j = skip_balanced(self.toks, j, '(', ')');
+        }
+        // Return type / where clause: scan to the body `{` or a `;`,
+        // skipping angle regions so `-> Result<(), String>` is safe.
+        while j < end && !self.toks[j].is_punct('{') && !self.toks[j].is_punct(';') {
+            if self.toks[j].is_punct('<') {
+                j = skip_angles(self.toks, j, end);
+            } else {
+                j += 1;
+            }
+        }
+        if j >= end || self.toks[j].is_punct(';') {
+            self.push_fn(name, owner, module, line, 0..0, Vec::new(), attr_test);
+            return (j + 1).min(end);
+        }
+        let close = skip_balanced(self.toks, j, '{', '}');
+        let body = (j + 1)..close.saturating_sub(1);
+        // Pull out nested `fn` items (token `fn` followed by an ident).
+        let mut nested_ranges = Vec::new();
+        let mut k = body.start;
+        while k < body.end {
+            if self.toks[k].is_ident("fn")
+                && self.toks.get(k + 1).is_some_and(|t| t.kind == TokKind::Ident)
+            {
+                let next = self.fn_item(k, body.end, module, None, attr_test);
+                nested_ranges.push(k..next);
+                k = next;
+            } else {
+                k += 1;
+            }
+        }
+        self.push_fn(name, owner, module, line, body, nested_ranges, attr_test);
+        close
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push_fn(
+        &mut self,
+        name: String,
+        owner: Option<&str>,
+        module: &[String],
+        line: u32,
+        body: std::ops::Range<usize>,
+        nested: Vec<std::ops::Range<usize>>,
+        attr_test: bool,
+    ) {
+        let is_test = attr_test || self.masked(line);
+        self.fns.push(FnItem {
+            name,
+            owner: owner.map(str::to_string),
+            module: module.to_vec(),
+            line,
+            body,
+            nested,
+            is_test,
+        });
+    }
+}
+
+/// Skips a balanced `<...>` region starting at `i` (which holds `<`),
+/// treating `(`/`)` nesting inside; returns the index after the matching
+/// `>`. Falls back to `i + 1` on shift-like text so expression context
+/// (`a < b`) cannot swallow the rest of the file: the skeleton only calls
+/// this in signature positions, where `<` is always a generic opener.
+fn skip_angles(toks: &[Tok], i: usize, end: usize) -> usize {
+    let mut depth = 0i64;
+    let mut j = i;
+    while j < end {
+        let t = &toks[j];
+        if t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct('>') {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        } else if t.is_punct('(') {
+            j = skip_balanced(toks, j, '(', ')');
+            continue;
+        } else if t.is_punct('{') || t.is_punct(';') {
+            // A generic list never contains these: bail out rather than
+            // swallowing the body.
+            return i + 1;
+        }
+        j += 1;
+    }
+    i + 1
+}
+
+/// Parses one source file into its item skeleton. `rel` is the
+/// workspace-relative path (stored for diagnostics); `src` is raw text.
+pub fn parse_file(rel: &str, src: &str) -> ParsedFile {
+    let stripped = strip_code(src);
+    let lines: Vec<&str> = stripped.lines().collect();
+    let mask = test_mask(&lines);
+    let toks = tokenize(&stripped);
+    let has_rwlock = toks.iter().any(|t| t.is_ident("RwLock"));
+    let mut p = Parser { toks: &toks, mask: &mask, fns: Vec::new(), renames: Vec::new() };
+    let end = toks.len();
+    let mut module = Vec::new();
+    p.items(0, end, &mut module, None);
+    let Parser { fns, renames, .. } = p;
+    ParsedFile { rel: rel.to_string(), toks, fns, renames, has_rwlock }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> ParsedFile {
+        parse_file("crates/x/src/lib.rs", src)
+    }
+
+    fn fn_named<'a>(p: &'a ParsedFile, name: &str) -> &'a FnItem {
+        p.fns.iter().find(|f| f.name == name).unwrap_or_else(|| panic!("no fn {name}"))
+    }
+
+    fn body_idents(p: &ParsedFile, f: &FnItem) -> Vec<String> {
+        p.toks[f.body.clone()]
+            .iter()
+            .enumerate()
+            .filter(|(k, t)| {
+                t.kind == TokKind::Ident
+                    && !f.nested.iter().any(|r| r.contains(&(f.body.start + k)))
+            })
+            .map(|(_, t)| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn simple_fn_bodies_are_attributed() {
+        let p = parse("fn a() { alpha(); }\nfn b() -> u64 { beta() }\n");
+        assert_eq!(p.fns.len(), 2);
+        assert!(body_idents(&p, fn_named(&p, "a")).contains(&"alpha".to_string()));
+        assert!(!body_idents(&p, fn_named(&p, "a")).contains(&"beta".to_string()));
+        assert!(body_idents(&p, fn_named(&p, "b")).contains(&"beta".to_string()));
+    }
+
+    #[test]
+    fn impl_and_trait_methods_know_their_owner() {
+        let src = "struct S;\nimpl S { fn m(&self) { inner(); } }\n\
+                   trait T { fn d(&self) { dflt(); } }\nimpl T for S { fn d(&self) { over(); } }\n";
+        let p = parse(src);
+        let m = fn_named(&p, "m");
+        assert_eq!(m.owner.as_deref(), Some("S"));
+        let ds: Vec<_> = p.fns.iter().filter(|f| f.name == "d").collect();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds[0].owner.as_deref(), Some("T"));
+        assert_eq!(ds[1].owner.as_deref(), Some("S"), "impl Trait for S records S");
+        assert_eq!(m.qual(), "S::m");
+    }
+
+    #[test]
+    fn nested_fns_are_split_out_of_the_parent_body() {
+        let src = "fn outer() {\n    fn helper() { hidden(); }\n    helper();\n    seen();\n}\n";
+        let p = parse(src);
+        let outer = fn_named(&p, "outer");
+        let helper = fn_named(&p, "helper");
+        let outer_ids = body_idents(&p, outer);
+        assert!(outer_ids.contains(&"seen".to_string()));
+        assert!(outer_ids.contains(&"helper".to_string()), "the call remains");
+        assert!(!outer_ids.contains(&"hidden".to_string()), "nested body excluded");
+        assert!(body_idents(&p, helper).contains(&"hidden".to_string()));
+    }
+
+    #[test]
+    fn use_renames_are_collected() {
+        let src = "use a::b::real_name as alias;\nuse x::{y as z, w};\nuse q::r as _;\n";
+        let p = parse(src);
+        assert_eq!(
+            p.renames,
+            vec![
+                UseRename { alias: "alias".into(), target: "real_name".into() },
+                UseRename { alias: "z".into(), target: "y".into() },
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_comments_cannot_fake_items() {
+        let src = "fn real() {\n    let s = \"fn fake() { bad() }\";\n    // fn commented() {}\n    ok();\n}\n";
+        let p = parse(src);
+        assert_eq!(p.fns.len(), 1);
+        assert!(body_idents(&p, fn_named(&p, "real")).contains(&"ok".to_string()));
+    }
+
+    #[test]
+    fn cfg_test_and_test_attr_mark_items() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n    #[test]\n    fn case() {}\n}\n";
+        let p = parse(src);
+        assert!(!fn_named(&p, "prod").is_test);
+        assert!(fn_named(&p, "helper").is_test);
+        assert!(fn_named(&p, "case").is_test);
+        let solo = parse("#[test]\nfn lone_case() {}\n");
+        assert!(fn_named(&solo, "lone_case").is_test);
+    }
+
+    #[test]
+    fn generic_signatures_and_where_clauses_parse() {
+        let src = "fn g<T: Fn(u32) -> u64, const N: usize>(x: T) -> Result<Vec<u8>, String>\n\
+                   where T: Clone {\n    seen_in_g();\n}\n";
+        let p = parse(src);
+        assert!(body_idents(&p, fn_named(&p, "g")).contains(&"seen_in_g".to_string()));
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let src = "fn real() { let f: fn(u32) -> u32 = other; f(1); }\n";
+        let p = parse(src);
+        assert_eq!(p.fns.iter().filter(|f| !f.name.is_empty()).count(), 1);
+    }
+
+    #[test]
+    fn inline_modules_nest_in_the_path() {
+        let src = "mod outer {\n    mod inner {\n        fn deep() {}\n    }\n    fn shallow() {}\n}\n";
+        let p = parse(src);
+        assert_eq!(fn_named(&p, "deep").module, vec!["outer", "inner"]);
+        assert_eq!(fn_named(&p, "shallow").module, vec!["outer"]);
+    }
+
+    #[test]
+    fn macro_rules_bodies_are_skipped() {
+        let src = "macro_rules! m {\n    () => { fn generated() { ghost(); } };\n}\nfn real() {}\n";
+        let p = parse(src);
+        assert!(p.fns.iter().all(|f| f.name != "generated"));
+        assert_eq!(p.fns.len(), 1);
+    }
+
+    #[test]
+    fn bodyless_trait_signatures_have_empty_bodies() {
+        let p = parse("trait T { fn sig(&self) -> u64; fn with_default(&self) { d(); } }\n");
+        assert!(fn_named(&p, "sig").body.is_empty());
+        assert!(!fn_named(&p, "with_default").body.is_empty());
+    }
+}

@@ -325,6 +325,281 @@ fn h1_manifest_glob_covers_the_scenario_crate() {
     );
 }
 
+// -------------------------------------------------------------- semantic
+
+/// Drives the full textual+semantic pipeline over in-memory sources.
+fn semantic(files: &[(&str, &str)], toml: &str) -> Vec<Finding> {
+    let files: Vec<(String, String)> =
+        files.iter().map(|(r, s)| (r.to_string(), s.to_string())).collect();
+    let allows = parse_allowlist(toml).expect("valid allowlist");
+    run_on_files(&files, &allows, Vec::new()).0
+}
+
+#[test]
+fn d6_catches_cross_crate_entropy_laundering() {
+    // The textual D3 finding is silenced by a lint.toml *path* allow, so
+    // only the reachability rule can see the laundering.
+    let util = "pub fn jitter() -> u64 { rand::random::<u64>() }\n";
+    let harness = "pub fn run_cell() -> u64 { mtm_util::jitter() }\n";
+    let f = semantic(
+        &[("crates/util/src/lib.rs", util), ("crates/harness/src/lib.rs", harness)],
+        "allow entropy crates/util/\n",
+    );
+    assert_eq!(rules_of(&f), vec![Rule::DeterminismTaint], "{f:?}");
+    assert!(f[0].message.contains("run_cell -> jitter"), "{}", f[0].message);
+}
+
+#[test]
+fn d6_defers_to_a_surviving_textual_finding() {
+    // Without the path allow the textual D3 finding survives, and D6
+    // must not double-report the same line.
+    let util = "pub fn jitter() -> u64 { rand::random::<u64>() }\n";
+    let harness = "pub fn run_cell() -> u64 { mtm_util::jitter() }\n";
+    let f = semantic(
+        &[("crates/util/src/lib.rs", util), ("crates/harness/src/lib.rs", harness)],
+        "",
+    );
+    assert_eq!(rules_of(&f), vec![Rule::Entropy], "{f:?}");
+}
+
+#[test]
+fn d6_respects_a_justified_line_allow_on_the_source() {
+    // A line-level allow means the author looked at that exact line; it
+    // suppresses both the textual rule and the fact D6 would ride on.
+    let util = "pub fn jitter() -> u64 {\n    // lint:allow(entropy): fixture; jitter feeds a log label only\n    rand::random::<u64>()\n}\n";
+    let harness = "pub fn run_cell() -> u64 { mtm_util::jitter() }\n";
+    let f = semantic(
+        &[("crates/util/src/lib.rs", util), ("crates/harness/src/lib.rs", harness)],
+        "",
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn d6_ignores_unreachable_sources() {
+    // A source in a fn nothing in an ordered crate calls is out of every
+    // decision path (its own crate is unordered), so D6 stays quiet.
+    let util = "pub fn jitter() -> u64 { rand::random::<u64>() }\n";
+    let f = semantic(&[("crates/util/src/lib.rs", util)], "allow entropy crates/util/\n");
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn d7_flags_a_lock_order_inversion() {
+    let src = "use std::sync::Mutex;\n\
+               pub struct M { pub table: Mutex<u64>, pub stats: Mutex<u64> }\n\
+               pub fn step(m: &M) -> u64 {\n\
+                   let t = m.table.lock().expect(\"t\");\n\
+                   let s = m.stats.lock().expect(\"s\");\n\
+                   *t + *s\n\
+               }\n\
+               pub fn report(m: &M) -> u64 {\n\
+                   let s = m.stats.lock().expect(\"s\");\n\
+                   let t = m.table.lock().expect(\"t\");\n\
+                   *t - *s\n\
+               }\n";
+    let f = semantic(&[("crates/tiersim/src/machine.rs", src)], "");
+    assert_eq!(rules_of(&f), vec![Rule::LockOrder], "{f:?}");
+    assert!(f[0].message.contains("table") && f[0].message.contains("stats"), "{}", f[0].message);
+}
+
+#[test]
+fn d7_accepts_a_consistent_order_and_dropped_guards() {
+    // Same locks, same order everywhere: acyclic, no finding.
+    let consistent = "use std::sync::Mutex;\n\
+               pub struct M { pub table: Mutex<u64>, pub stats: Mutex<u64> }\n\
+               pub fn step(m: &M) { let t = m.table.lock().expect(\"t\"); let s = m.stats.lock().expect(\"s\"); let _ = (*t, *s); }\n\
+               pub fn report(m: &M) { let t = m.table.lock().expect(\"t\"); let s = m.stats.lock().expect(\"s\"); let _ = (*t, *s); }\n";
+    assert!(semantic(&[("crates/tiersim/src/machine.rs", consistent)], "").is_empty());
+    // An explicit drop releases the first lock before the second is
+    // taken, so the inverted pair creates no held->acquired edge.
+    let dropped = "use std::sync::Mutex;\n\
+               pub struct M { pub table: Mutex<u64>, pub stats: Mutex<u64> }\n\
+               pub fn step(m: &M) { let t = m.table.lock().expect(\"t\"); drop(t); let s = m.stats.lock().expect(\"s\"); let _ = *s; }\n\
+               pub fn report(m: &M) { let s = m.stats.lock().expect(\"s\"); drop(s); let t = m.table.lock().expect(\"t\"); let _ = *t; }\n";
+    assert!(semantic(&[("crates/tiersim/src/machine.rs", dropped)], "").is_empty());
+}
+
+#[test]
+fn d8_closes_over_the_relocation_root() {
+    // The unwrap hides one hop below the root, in a file the textual D5
+    // rule does not cover.
+    let src = "pub fn relocate_range(n: u64) -> u64 { helper(n) }\n\
+               fn helper(n: u64) -> u64 { n.checked_add(1).unwrap() }\n";
+    let f = semantic(&[("crates/tiersim/src/engine.rs", src)], "");
+    assert_eq!(rules_of(&f), vec![Rule::PanicPath], "{f:?}");
+    assert!(f[0].message.contains("relocate_range -> helper"), "{}", f[0].message);
+}
+
+#[test]
+fn d8_ignores_panics_outside_the_closure_and_honors_allows() {
+    // Same unwrap, but nothing transactional calls the helper.
+    let unreached = "pub fn relocate_range(n: u64) -> u64 { n }\n\
+               fn helper(n: u64) -> u64 { n.checked_add(1).unwrap() }\n";
+    assert!(semantic(&[("crates/tiersim/src/engine.rs", unreached)], "").is_empty());
+    // A justified line allow on the panic site silences the closure.
+    let allowed = "pub fn relocate_range(n: u64) -> u64 { helper(n) }\n\
+               fn helper(n: u64) -> u64 {\n\
+                   // lint:allow(panic-path): fixture; overflow is a config bug worth aborting on\n\
+                   n.checked_add(1).unwrap()\n\
+               }\n";
+    assert!(semantic(&[("crates/tiersim/src/engine.rs", allowed)], "").is_empty());
+}
+
+#[test]
+fn o1_audits_names_and_bookings() {
+    let metrics = "pub mod names {\n\
+                       pub const GOOD: &str = \"good_total\";\n\
+                       pub const DEAD: &str = \"dead_total\";\n\
+                   }\n\
+                   pub fn counter_add(_n: &str, _v: u64) {}\n\
+                   pub fn book() { counter_add(names::GOOD, 1); counter_add(\"raw_name\", 1); }\n";
+    let f = semantic(&[("crates/obs/src/metrics.rs", metrics)], "");
+    assert_eq!(rules_of(&f), vec![Rule::ObsName, Rule::ObsName], "{f:?}");
+    assert!(f.iter().any(|x| x.message.contains("DEAD")), "{f:?}");
+    assert!(f.iter().any(|x| x.message.contains("raw_name")), "{f:?}");
+}
+
+#[test]
+fn l1_rejects_unknown_slugs_in_annotations_and_toml() {
+    // Assembled at runtime so the self-scan does not see the typo'd
+    // slug in this file's own source.
+    let typo = format!("// lint:allow(wall-cl{}k): typo\n", "o");
+    let f = scan_bad_allows("crates/mtm/src/lib.rs", &typo);
+    assert_eq!(rules_of(&f), vec![Rule::BadAllow]);
+    assert!(f[0].message.contains("wall-clok"), "{}", f[0].message);
+    assert!(scan_bad_allows("crates/mtm/src/lib.rs", "// lint:allow(wall-clock): fine\n")
+        .is_empty());
+    let allows =
+        vec![Allow { slug: "no-such-rule".into(), path_substr: "crates/".into(), line: 3 }];
+    let f = validate_allowlist(&allows);
+    assert_eq!(rules_of(&f), vec![Rule::BadAllow]);
+    assert_eq!(f[0].line, 3);
+}
+
+#[test]
+fn findings_serialize_to_stable_json() {
+    let f = Finding {
+        path: "crates/a/src/lib.rs".into(),
+        line: 3,
+        rule: Rule::LockOrder,
+        message: "cycle \"x\"\\path".into(),
+    };
+    assert_eq!(
+        f.to_json(),
+        r#"{"path":"crates/a/src/lib.rs","line":3,"code":"D7","slug":"lock-order","message":"cycle \"x\"\\path"}"#
+    );
+}
+
+// --------------------------------------------------------------- corpus
+
+fn fixture_root(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(name)
+}
+
+#[test]
+fn the_seeded_corpus_matches_its_golden_findings() {
+    let dir = fixture_root("corpus");
+    let findings = run(&dir).expect("corpus lint run");
+    let got = findings.iter().map(|f| format!("{f}\n")).collect::<String>();
+    let want = std::fs::read_to_string(dir.join("expected.txt")).expect("golden file");
+    assert_eq!(got, want, "corpus findings drifted from expected.txt");
+    // Every semantic rule demonstrably catches its seeded violation.
+    for rule in [Rule::DeterminismTaint, Rule::LockOrder, Rule::PanicPath, Rule::ObsName, Rule::BadAllow] {
+        assert!(findings.iter().any(|f| f.rule == rule), "corpus misses {rule:?}");
+    }
+}
+
+#[test]
+fn the_clean_fixture_twin_has_zero_findings() {
+    let findings = run(&fixture_root("clean")).expect("clean lint run");
+    assert!(
+        findings.is_empty(),
+        "clean twin has findings:\n  {}",
+        findings.iter().map(|f| f.to_string()).collect::<Vec<_>>().join("\n  ")
+    );
+}
+
+// ------------------------------------------------------------- property
+
+/// Builds one noisy source from atom codes: per atom, a fn whose body
+/// holds brace/string/comment noise plus a unique marker call, wrapped
+/// in a module for even atoms, with a nested fn for atom 4. Returns the
+/// source and each expected fn's marker ident.
+fn build_noisy_source(atoms: &[u8]) -> (String, std::collections::BTreeMap<String, String>) {
+    let mut src = String::new();
+    let mut expected = std::collections::BTreeMap::new();
+    for (i, &a) in atoms.iter().enumerate() {
+        let noise = match a % 7 {
+            0 => "// ghost_marker } { fn fake() {\n".to_string(),
+            1 => "/* outer /* ghost_marker } */ fn fake2() { */\n".to_string(),
+            2 => "let s = \"ghost_marker } { \\\" fn fake3() {\";\n".to_string(),
+            3 => "let r = r#\"ghost_marker } { \" fn fake4() {\"#;\n".to_string(),
+            4 => "{ let inner_block = 1; }\n".to_string(),
+            5 => "let c = '}'; let q = '\\'';\n".to_string(),
+            _ => "let l: &'static str = \"x\";\n".to_string(),
+        };
+        let marker = format!("marker_{i}");
+        let mut item = format!("fn f{i}() {{\n{noise}    {marker}();\n}}\n");
+        if a % 7 == 4 {
+            item = format!(
+                "fn f{i}() {{\n    fn inner{i}() {{ marker_inner_{i}(); }}\n{noise}    {marker}();\n}}\n"
+            );
+            expected.insert(format!("inner{i}"), format!("marker_inner_{i}"));
+        }
+        if a % 2 == 0 {
+            item = format!("mod m{i} {{\n{item}}}\n");
+        }
+        src.push_str(&item);
+        expected.insert(format!("f{i}"), marker);
+    }
+    (src, expected)
+}
+
+#[test]
+fn parser_attributes_bodies_correctly_under_random_nesting() {
+    use proptest_lite::{gen, prop_check};
+    prop_check!("parser_round_trip", 64, gen::vec_in(gen::u8_range(0, 14), 1, 12), |atoms| {
+        let (src, expected) = build_noisy_source(atoms);
+        let pf = parse::parse_file("crates/mtm/src/generated.rs", &src);
+        let names: std::collections::BTreeSet<String> =
+            pf.fns.iter().map(|f| f.name.clone()).collect();
+        let want: std::collections::BTreeSet<String> = expected.keys().cloned().collect();
+        proptest_lite::prop_assert_eq!(&names, &want, "fn set mismatch for:\n{src}");
+        for f in &pf.fns {
+            let mut body: Vec<&str> = Vec::new();
+            for k in f.body.clone() {
+                if f.nested.iter().any(|r| r.contains(&k)) {
+                    continue;
+                }
+                body.push(pf.toks[k].text.as_str());
+            }
+            let marker = &expected[&f.name];
+            proptest_lite::prop_assert!(
+                body.contains(&marker.as_str()),
+                "fn {} lost its marker in:\n{src}",
+                f.name
+            );
+            // Nothing from a string or comment may surface as a token,
+            // and no other fn's marker may leak into this body.
+            proptest_lite::prop_assert!(
+                !body.contains(&"ghost_marker"),
+                "string/comment text leaked into fn {} of:\n{src}",
+                f.name
+            );
+            for (other, m) in &expected {
+                if other != &f.name {
+                    proptest_lite::prop_assert!(
+                        !body.contains(&m.as_str()),
+                        "fn {other}'s marker mis-attributed to fn {} in:\n{src}",
+                        f.name
+                    );
+                }
+            }
+        }
+    });
+}
+
 #[test]
 fn the_workspace_itself_is_lint_clean() {
     // The real tree must stay at zero findings — the same gate verify.sh

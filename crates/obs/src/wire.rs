@@ -143,19 +143,28 @@ impl<'a> Reader<'a> {
         Ok(self.take(1)?[0])
     }
 
+    /// Reads exactly `N` bytes into a fixed-size array. `take` already
+    /// bounds-checks, so the conversion is checked rather than panicking:
+    /// restore paths must surface corruption as `Err`, never abort.
+    fn fixed_bytes<const N: usize>(&mut self) -> Result<[u8; N], String> {
+        self.take(N)?
+            .try_into()
+            .map_err(|_| format!("wire: internal length error on {N}-byte field"))
+    }
+
     /// Reads a fixed-width little-endian `u16`.
     pub fn u16(&mut self) -> Result<u16, String> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.fixed_bytes()?))
     }
 
     /// Reads a fixed-width little-endian `u32`.
     pub fn u32(&mut self) -> Result<u32, String> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.fixed_bytes()?))
     }
 
     /// Reads a fixed-width little-endian `u64`.
     pub fn u64(&mut self) -> Result<u64, String> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.fixed_bytes()?))
     }
 
     /// Reads an `f64` from its IEEE-754 bit pattern.
@@ -226,10 +235,13 @@ pub fn intern(s: &str) -> &'static str {
     use std::collections::BTreeSet;
     use std::sync::{Mutex, OnceLock};
     static TABLE: OnceLock<Mutex<BTreeSet<&'static str>>> = OnceLock::new();
+    // Poison recovery is sound here: the table only ever accumulates
+    // leaked strings, so a panicked inserter cannot leave it in a state
+    // where dedup against the surviving entries is wrong.
     let mut table = TABLE
         .get_or_init(|| Mutex::new(BTreeSet::new()))
         .lock()
-        .expect("intern table lock");
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
     if let Some(&existing) = table.get(s) {
         return existing;
     }

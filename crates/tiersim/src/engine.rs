@@ -72,12 +72,14 @@ where
                     break;
                 }
                 let out = f(bounds(ci));
+                // lint:allow(panic-path): each chunk index is claimed exactly once, so no other worker can poison this slot's lock
                 *slots[ci].lock().expect("packet slot poisoned") = Some(out);
             });
         }
     });
     slots
         .into_iter()
+        // lint:allow(panic-path): thread::scope re-raises worker panics before this line can run with an unfilled or poisoned slot
         .map(|s| s.into_inner().expect("packet slot poisoned").expect("worker filled every packet"))
         .collect()
 }

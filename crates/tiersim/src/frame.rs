@@ -172,11 +172,10 @@ impl FrameAllocator {
                     self.used += PAGE_SIZE_4K;
                     return Ok(PhysAddr::new(self.component, off));
                 }
-                if self.small_cursor.is_none() {
-                    let block = self.take_block().ok_or(oom)?;
-                    self.small_cursor = Some((block, 0));
-                }
-                let (base, off) = self.small_cursor.expect("cursor just ensured");
+                let (base, off) = match self.small_cursor {
+                    Some(cur) => cur,
+                    None => (self.take_block().ok_or(oom)?, 0),
+                };
                 let frame = base + off;
                 let next = off + PAGE_SIZE_4K;
                 self.small_cursor = if next < PAGE_SIZE_2M { Some((base, next)) } else { None };

@@ -409,12 +409,14 @@ impl PageTable {
         if self.entry(pde).is_none() {
             self.insert_entry(pde, PdEntry::Table(Leaf::empty()));
         }
+        // lint:allow(panic-path): the slot was inserted two lines up; a miss here is table corruption
         match self.entry_mut(pde).expect("slot just ensured") {
             PdEntry::Table(leaf) => {
                 let i = va.pte_index();
                 assert!(!test_bit(&leaf.present, i), "double map at {va:?}");
                 leaf.install(i, pte);
             }
+            // lint:allow(panic-path): mapping over a live huge page is a double-map; aborting beats silent PTE clobbering
             PdEntry::Huge(_) => panic!("4K map inside huge mapping at {va:?}"),
         }
         self.mapped_bytes += PAGE_SIZE_4K;
@@ -478,6 +480,7 @@ impl PageTable {
         let PageTable { slots, occupied, .. } = self;
         for_set_bits(occupied, first_pde, last_pde, |pde| {
             let base = VirtAddr((pde as u64) << 21);
+            // lint:allow(panic-path): occupied-bitmap/slot coherence is a structural invariant of every mutation path
             match slots[pde].as_mut().expect("occupied bit implies slot") {
                 PdEntry::Huge(pte) => {
                     if pte.present() && range.contains(base) {
@@ -512,6 +515,7 @@ impl PageTable {
         let last_pde = ((range.end.0 - 1) >> 21) as usize;
         for_set_bits(&self.occupied, first_pde, last_pde, |pde| {
             let base = VirtAddr((pde as u64) << 21);
+            // lint:allow(panic-path): occupied-bitmap/slot coherence is a structural invariant of every mutation path
             match self.slots[pde].as_ref().expect("occupied bit implies slot") {
                 PdEntry::Huge(pte) => {
                     if pte.present() && range.contains(base) {
@@ -554,6 +558,7 @@ impl PageTable {
                 }
                 f(va, pte, size);
             };
+            // lint:allow(panic-path): occupied-bitmap/slot coherence is a structural invariant of every mutation path
             match self.slots[pde].as_ref().expect("occupied bit implies slot") {
                 PdEntry::Huge(pte) => {
                     if pte.present() {
@@ -636,6 +641,7 @@ impl PageTable {
         if huge.dirty() {
             leaf.dirty = [!0u64; WORDS];
         }
+        // lint:allow(panic-path): the same pde matched Huge above; a miss here is table corruption
         *self.entry_mut(pde).expect("entry just matched") = PdEntry::Table(leaf);
         // 2 MB was mapped before and after; `mapped_bytes` is unchanged
         // (512 * 4 KB == 2 MB).

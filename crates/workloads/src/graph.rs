@@ -7,7 +7,7 @@
 //! graphs are cached per-process because several experiments traverse the
 //! same graph under different managers.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::rng::SplitMix64;
@@ -121,8 +121,8 @@ pub fn rmat(params: RmatParams) -> Csr {
 /// it. Callers get their own `Arc` clone; no lock is held across a run.
 pub fn cached_rmat(params: RmatParams) -> Arc<Csr> {
     type Slot = Arc<OnceLock<Arc<Csr>>>;
-    static CACHE: OnceLock<Mutex<HashMap<(u32, u64, u64), Slot>>> = OnceLock::new();
-    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    static CACHE: OnceLock<Mutex<BTreeMap<(u32, u64, u64), Slot>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(BTreeMap::new()));
     let key = (params.vertices, params.edges, params.seed);
     let slot: Slot = {
         let mut guard = cache.lock().expect("graph cache poisoned");

@@ -15,12 +15,49 @@ cargo build --release --workspace
 cargo test -q --workspace
 
 # Static analysis gate: the workspace lint (crates/lint) must report zero
-# findings. Rules D1-D5 (wall-clock, unordered maps, entropy, non-exhaustive
-# error enums, unwrap in migration code) and H1 (hermetic manifests); the
-# allowlist lives in lint.toml and inline `// lint:allow(...)` annotations.
-echo "==> workspace lint (bin/lint)"
-if ! cargo run --release -q -p mtm-lint --bin lint; then
+# findings. Textual rules D1-D5 (wall-clock, unordered maps, entropy,
+# non-exhaustive error enums, unwrap in migration code) and H1 (hermetic
+# manifests), plus the semantic rules over the workspace call graph: D6
+# determinism-taint reachability, D7 lock-order cycles, D8 panic-path
+# closure, O1 obs-name audit and L1 bad-allow validation. The allowlist
+# lives in lint.toml and inline `// lint:allow(...)` annotations. The
+# gate consumes `--json` (machine-readable, stable field order), checks
+# the seeded fixture corpus against its golden findings and the clean
+# twin against zero, and holds the semantic pass to a <10s budget.
+echo "==> workspace lint (bin/lint --json, fixture corpus, <10s budget)"
+lint_out=$(mktemp)
+lint_start=$(date +%s)
+if ! cargo run --release -q -p mtm-lint --bin lint -- --json >"$lint_out"; then
+    cat "$lint_out"
+    rm -f "$lint_out"
     echo "verify: FAIL (lint findings, see above)"
+    exit 1
+fi
+lint_elapsed=$(( $(date +%s) - lint_start ))
+if ! python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$lint_out" 2>/dev/null; then
+    cat "$lint_out"
+    rm -f "$lint_out"
+    echo "verify: FAIL (lint --json emitted invalid JSON)"
+    exit 1
+fi
+if cargo run --release -q -p mtm-lint --bin lint -- crates/lint/fixtures/corpus \
+        >"$lint_out" 2>/dev/null; then
+    rm -f "$lint_out"
+    echo "verify: FAIL (seeded fixture corpus reported no findings)"
+    exit 1
+fi
+if ! diff -u crates/lint/fixtures/corpus/expected.txt "$lint_out"; then
+    rm -f "$lint_out"
+    echo "verify: FAIL (corpus findings drifted from golden expected.txt)"
+    exit 1
+fi
+rm -f "$lint_out"
+if ! cargo run --release -q -p mtm-lint --bin lint -- crates/lint/fixtures/clean; then
+    echo "verify: FAIL (clean fixture twin has findings)"
+    exit 1
+fi
+if [ "$lint_elapsed" -ge 10 ]; then
+    echo "verify: FAIL (semantic lint took ${lint_elapsed}s, budget is <10s)"
     exit 1
 fi
 
